@@ -1,0 +1,149 @@
+package igdb_test
+
+import (
+	"testing"
+
+	"igdb/internal/geo"
+	"igdb/internal/geoloc"
+)
+
+// Ablation benchmarks: quantify the design choices the reproduction makes,
+// reporting accuracy as a custom metric alongside timing. Run with
+// `go test -bench Ablation -benchtime 1x`.
+
+// BenchmarkAblation_BdrmapBorderCorrection compares plain longest-prefix
+// matching against the full bdrmap attribution (domain votes + MAP-IT
+// signature) on hops whose interface is numbered from the neighbour's space.
+func BenchmarkAblation_BdrmapBorderCorrection(b *testing.B) {
+	e := env(b)
+	score := func(useCorrection bool) (borderAcc, overallAcc float64) {
+		var correct, total, bCorrect, bTotal int
+		for _, tr := range e.World.Traces {
+			vis := tr.VisibleHops()
+			ips := make([]uint32, len(vis))
+			for i, h := range vis {
+				ips[i] = h.IP
+			}
+			var got []int
+			if useCorrection {
+				got = e.P.Mapper.MapTrace(ips, e.P.PTR)
+			} else {
+				got = make([]int, len(ips))
+				for i, ip := range ips {
+					if asn, ok := e.P.Mapper.Lookup(ip); ok {
+						got[i] = asn
+					} else {
+						got[i] = -1
+					}
+				}
+			}
+			for i, h := range vis {
+				if got[i] < 0 {
+					continue
+				}
+				total++
+				if got[i] == h.ASN {
+					correct++
+				}
+				if e.World.BorderOwner(h.IP) >= 0 {
+					bTotal++
+					if got[i] == h.ASN {
+						bCorrect++
+					}
+				}
+			}
+		}
+		if bTotal == 0 || total == 0 {
+			b.Fatal("no scored hops")
+		}
+		return float64(bCorrect) / float64(bTotal), float64(correct) / float64(total)
+	}
+	b.ResetTimer()
+	var withB, withoutB float64
+	for i := 0; i < b.N; i++ {
+		withB, _ = score(true)
+		withoutB, _ = score(false)
+	}
+	b.ReportMetric(withB, "border-acc/corrected")
+	b.ReportMetric(withoutB, "border-acc/plain-lpm")
+}
+
+// BenchmarkAblation_GeolocationContext compares hostname geolocation
+// accuracy without context, with AS-presence disambiguation, and with the
+// full latency (speed-of-light) filter.
+func BenchmarkAblation_GeolocationContext(b *testing.B) {
+	e := env(b)
+	truth := map[uint32]int{}
+	for _, tr := range e.World.Traces {
+		for _, h := range tr.Hops {
+			truth[h.IP] = h.City
+		}
+	}
+	match := func(gotCity int, ip uint32) bool {
+		want, ok := truth[ip]
+		return ok && e.G.Cities[gotCity].Name == e.World.Cities[want].Name
+	}
+	score := func(mode int) float64 {
+		correct, total := 0, 0
+		for _, m := range e.P.Measurements {
+			ta := e.P.AnalyzeTrace(m)
+			for _, h := range ta.Hops {
+				if h.Hostname == "" {
+					continue
+				}
+				var city int
+				var ok bool
+				var src string
+				switch mode {
+				case 0:
+					city, src, ok = e.P.Geolocate(h.IP)
+				case 1:
+					city, src, ok = e.P.GeolocateWithAS(h.IP, h.ASN)
+				default:
+					srcCity := -1
+					if meta, okA := e.P.AnchorByID[m.SrcAnchor]; okA {
+						srcCity = e.G.Standardize(geo.Point{Lon: meta.Lon, Lat: meta.Lat})
+					}
+					city, src, ok = e.P.GeolocateHop(h.IP, h.ASN, srcCity, h.RTT)
+				}
+				if !ok || src != "hoiho" {
+					continue
+				}
+				total++
+				if match(city, h.IP) {
+					correct++
+				}
+			}
+		}
+		if total == 0 {
+			b.Fatal("nothing geolocated")
+		}
+		return float64(correct) / float64(total)
+	}
+	b.ResetTimer()
+	var plain, withAS, withRTT float64
+	for i := 0; i < b.N; i++ {
+		plain = score(0)
+		withAS = score(1)
+		withRTT = score(2)
+	}
+	b.ReportMetric(plain, "hoiho-acc/plain")
+	b.ReportMetric(withAS, "hoiho-acc/with-as")
+	b.ReportMetric(withRTT, "hoiho-acc/with-rtt")
+}
+
+// BenchmarkAblation_BeliefPropagationIterations measures how much each BP
+// round contributes (coverage per max-iteration setting).
+func BenchmarkAblation_BeliefPropagationIterations(b *testing.B) {
+	e := env(b)
+	known := e.P.KnownLocations()
+	obs := e.P.Observations()
+	b.ResetTimer()
+	var one, unlimited int
+	for i := 0; i < b.N; i++ {
+		one = len(geoloc.Propagate(obs, known, geoloc.Options{MaxIterations: 1}))
+		unlimited = len(geoloc.Propagate(obs, known, geoloc.Options{}))
+	}
+	b.ReportMetric(float64(one), "inferred/1-iter")
+	b.ReportMetric(float64(unlimited), "inferred/fixpoint")
+}

@@ -1,0 +1,190 @@
+// Package igdb_test benchmarks every table and figure of the paper's
+// evaluation: one testing.B target per experiment, each running the full
+// analysis (SQL + measurement fusion + rendering) against a shared
+// pre-built environment, plus end-to-end pipeline benchmarks.
+//
+// By default the environment is SmallConfig (seconds to build, same
+// structure as the paper-scale world). Set IGDB_BENCH_SCALE=paper to run
+// the benchmarks against the full Table 1 magnitudes.
+package igdb_test
+
+import (
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"igdb/internal/core"
+	"igdb/internal/experiments"
+	"igdb/internal/geo"
+	"igdb/internal/ingest"
+	"igdb/internal/risk"
+	"igdb/internal/worldgen"
+)
+
+var (
+	benchOnce sync.Once
+	benchEnv  *experiments.Env
+)
+
+func benchConfig() worldgen.Config {
+	if os.Getenv("IGDB_BENCH_SCALE") == "paper" {
+		return worldgen.DefaultConfig()
+	}
+	return worldgen.SmallConfig()
+}
+
+func env(b *testing.B) *experiments.Env {
+	b.Helper()
+	benchOnce.Do(func() {
+		e, err := experiments.NewEnv(benchConfig())
+		if err != nil {
+			panic(err)
+		}
+		benchEnv = e
+	})
+	return benchEnv
+}
+
+func run(b *testing.B, f func() experiments.Result) {
+	e := env(b)
+	_ = e
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := f()
+		if len(r.Rows) == 0 && len(r.Notes) == 0 {
+			b.Fatal("experiment produced nothing")
+		}
+	}
+}
+
+// --- one benchmark per paper table ---
+
+func BenchmarkTable1_DatabaseCharacteristics(b *testing.B) {
+	run(b, func() experiments.Result { return env(b).Table1() })
+}
+
+func BenchmarkTable2_ASCountryPresence(b *testing.B) {
+	run(b, func() experiments.Result { return env(b).Table2() })
+}
+
+func BenchmarkTable3_MissingLocations(b *testing.B) {
+	run(b, func() experiments.Result { return env(b).Table3() })
+}
+
+// --- one benchmark per paper figure ---
+
+func BenchmarkFigure3_ThiessenPolygons(b *testing.B) {
+	run(b, func() experiments.Result { return env(b).Figure3() })
+}
+
+func BenchmarkFigure4_InterTubesComparison(b *testing.B) {
+	run(b, func() experiments.Result { return env(b).Figure4() })
+}
+
+func BenchmarkFigure5_PhysicalMap(b *testing.B) {
+	run(b, func() experiments.Result { return env(b).Figure5() })
+}
+
+func BenchmarkFigure6_ISPOverlap(b *testing.B) {
+	run(b, func() experiments.Result { return env(b).Figure6() })
+}
+
+func BenchmarkFigure7_TraceroutePhysicalPath(b *testing.B) {
+	run(b, func() experiments.Result { return env(b).Figure7() })
+}
+
+func BenchmarkFigure8_RocketfuelComparison(b *testing.B) {
+	run(b, func() experiments.Result { return env(b).Figure8() })
+}
+
+func BenchmarkFigure9_MadridBerlin(b *testing.B) {
+	run(b, func() experiments.Result { return env(b).Figure9() })
+}
+
+func BenchmarkFigure10_NodeDistributionCDF(b *testing.B) {
+	run(b, func() experiments.Result { return env(b).Figure10() })
+}
+
+func BenchmarkSection44_BeliefPropagation(b *testing.B) {
+	run(b, func() experiments.Result { return env(b).Section44() })
+}
+
+// --- pipeline-stage benchmarks (ablation view of where the time goes) ---
+
+// BenchmarkPipeline_WorldGeneration measures synthesizing the Internet.
+func BenchmarkPipeline_WorldGeneration(b *testing.B) {
+	cfg := benchConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		worldgen.Generate(cfg)
+	}
+}
+
+// BenchmarkPipeline_Collect measures exporting all source snapshots.
+func BenchmarkPipeline_Collect(b *testing.B) {
+	w := worldgen.Generate(benchConfig())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		store := ingest.NewStore("")
+		if err := ingest.Collect(w, store, time.Unix(1780000000, 0).UTC()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPipeline_BuildDB measures the iGDB build: standardization,
+// Voronoi, right-of-way inference, relational load.
+func BenchmarkPipeline_BuildDB(b *testing.B) {
+	w := worldgen.Generate(benchConfig())
+	store := ingest.NewStore("")
+	if err := ingest.Collect(w, store, time.Unix(1780000000, 0).UTC()); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Build(store, core.BuildOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPipeline_ConsistencyCheck measures the cross-layer audit.
+func BenchmarkPipeline_ConsistencyCheck(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep := e.G.ConsistencyCheck()
+		if !rep.OK() {
+			b.Fatalf("violations: %v", rep.Violations)
+		}
+	}
+}
+
+// BenchmarkExtension_RiskAssessment measures the RiskRoute-style hazard
+// analysis (§4.2's "areas of study" application) over the Gulf-coast
+// scenario.
+func BenchmarkExtension_RiskAssessment(b *testing.B) {
+	e := env(b)
+	hazard := risk.Hazard{Name: "Gulf hurricane", Center: geo.Point{Lon: -92.5, Lat: 29.8}, RadiusKm: 450}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := risk.Assess(e.G, hazard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		risk.DetourCost(e.G, hazard, rep)
+	}
+}
+
+// BenchmarkPipeline_AnalyzeMesh measures §4.2 trace analysis across the
+// whole anchor mesh.
+func BenchmarkPipeline_AnalyzeMesh(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, m := range e.P.Measurements {
+			e.P.AnalyzeTrace(m)
+		}
+	}
+}

@@ -1,0 +1,388 @@
+// Command igdb is the Internet Geographic Database toolkit: it collects
+// timestamped snapshots from the (emulated) input sources, builds the
+// cross-layer database, runs SQL analyses over it, audits cross-layer
+// consistency, and exports GIS layers as GeoJSON or SVG.
+//
+// Usage:
+//
+//	igdb collect -dir DIR [-scale small|paper] [-seed N]
+//	igdb build   -dir DIR [-as-of YYYY-MM-DD]
+//	igdb check   -dir DIR
+//	igdb sql     -dir DIR 'SELECT ...'
+//	igdb tables  -dir DIR
+//	igdb export  -dir DIR -layer LAYER [-format geojson|svg] [-o FILE]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"igdb/internal/core"
+	"igdb/internal/geo"
+	"igdb/internal/ingest"
+	"igdb/internal/paths"
+	"igdb/internal/render"
+	"igdb/internal/wkt"
+	"igdb/internal/worldgen"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "collect":
+		err = cmdCollect(os.Args[2:])
+	case "build":
+		err = cmdBuild(os.Args[2:])
+	case "check":
+		err = cmdCheck(os.Args[2:])
+	case "sql":
+		err = cmdSQL(os.Args[2:])
+	case "tables":
+		err = cmdTables(os.Args[2:])
+	case "export":
+		err = cmdExport(os.Args[2:])
+	case "analyze":
+		err = cmdAnalyze(os.Args[2:])
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "igdb: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "igdb: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `igdb — the Internet Geographic Database toolkit
+
+commands:
+  collect   pull a snapshot of every input source into a store directory
+  build     build the cross-layer database and print relation sizes
+  check     build and run the cross-layer consistency audit
+  sql       run a SQL query against the built database
+  tables    list relations and row counts
+  export    export a layer as GeoJSON or SVG
+  analyze   fuse the traceroute mesh into ip_asn_dns and summarize it
+
+run 'igdb COMMAND -h' for command flags
+`)
+}
+
+func loadStore(dir string) (*ingest.Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("-dir is required")
+	}
+	store := ingest.NewStore(dir)
+	if err := store.Load(); err != nil {
+		return nil, err
+	}
+	return store, nil
+}
+
+func buildDB(dir, asOf string) (*core.IGDB, error) {
+	store, err := loadStore(dir)
+	if err != nil {
+		return nil, err
+	}
+	opts := core.BuildOptions{}
+	if asOf != "" {
+		t, err := time.Parse("2006-01-02", asOf)
+		if err != nil {
+			return nil, fmt.Errorf("bad -as-of: %v", err)
+		}
+		opts.AsOf = t.Add(24*time.Hour - time.Second)
+	}
+	return core.Build(store, opts)
+}
+
+func cmdCollect(args []string) error {
+	fs := flag.NewFlagSet("collect", flag.ExitOnError)
+	dir := fs.String("dir", "", "snapshot store directory")
+	scale := fs.String("scale", "small", "world scale: small or paper")
+	seed := fs.Int64("seed", 0, "world seed override")
+	_ = fs.Parse(args)
+	if *dir == "" {
+		return fmt.Errorf("-dir is required")
+	}
+	cfg := worldgen.SmallConfig()
+	if *scale == "paper" {
+		cfg = worldgen.DefaultConfig()
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	fmt.Fprintf(os.Stderr, "generating %s-scale world (seed %d)...\n", *scale, cfg.Seed)
+	w := worldgen.Generate(cfg)
+	store := ingest.NewStore(*dir)
+	asOf := time.Now().UTC().Truncate(time.Second)
+	if err := ingest.Collect(w, store, asOf); err != nil {
+		return err
+	}
+	fmt.Printf("collected %d sources into %s (as of %s)\n", len(ingest.Sources), *dir, asOf.Format(time.RFC3339))
+	return nil
+}
+
+func cmdBuild(args []string) error {
+	fs := flag.NewFlagSet("build", flag.ExitOnError)
+	dir := fs.String("dir", "", "snapshot store directory")
+	asOf := fs.String("as-of", "", "build as of date (YYYY-MM-DD, default newest)")
+	_ = fs.Parse(args)
+	t0 := time.Now()
+	g, err := buildDB(*dir, *asOf)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("built iGDB in %v\n", time.Since(t0).Round(time.Millisecond))
+	return printTables(g)
+}
+
+func cmdTables(args []string) error {
+	fs := flag.NewFlagSet("tables", flag.ExitOnError)
+	dir := fs.String("dir", "", "snapshot store directory")
+	asOf := fs.String("as-of", "", "build as of date (YYYY-MM-DD)")
+	_ = fs.Parse(args)
+	g, err := buildDB(*dir, *asOf)
+	if err != nil {
+		return err
+	}
+	return printTables(g)
+}
+
+func printTables(g *core.IGDB) error {
+	fmt.Printf("%-16s %s\n", "relation", "rows")
+	for _, name := range g.Rel.TableNames() {
+		fmt.Printf("%-16s %d\n", name, g.Rel.Table(name).Len())
+	}
+	return nil
+}
+
+func cmdCheck(args []string) error {
+	fs := flag.NewFlagSet("check", flag.ExitOnError)
+	dir := fs.String("dir", "", "snapshot store directory")
+	asOf := fs.String("as-of", "", "build as of date (YYYY-MM-DD)")
+	_ = fs.Parse(args)
+	g, err := buildDB(*dir, *asOf)
+	if err != nil {
+		return err
+	}
+	rep := g.ConsistencyCheck()
+	fmt.Printf("audited %d rows\n", rep.Checked)
+	if rep.OK() {
+		fmt.Println("cross-layer consistency: OK")
+		return nil
+	}
+	for _, v := range rep.Violations {
+		fmt.Printf("violation: %s\n", v)
+	}
+	return fmt.Errorf("%d consistency violations", len(rep.Violations))
+}
+
+func cmdSQL(args []string) error {
+	fs := flag.NewFlagSet("sql", flag.ExitOnError)
+	dir := fs.String("dir", "", "snapshot store directory")
+	asOf := fs.String("as-of", "", "build as of date (YYYY-MM-DD)")
+	_ = fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: igdb sql -dir DIR 'SELECT ...'")
+	}
+	g, err := buildDB(*dir, *asOf)
+	if err != nil {
+		return err
+	}
+	rows, err := g.Rel.Query(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	fmt.Println(strings.Join(rows.Columns, "\t"))
+	for _, row := range rows.Rows {
+		cells := make([]string, len(row))
+		for i, v := range row {
+			cells[i] = v.String()
+		}
+		fmt.Println(strings.Join(cells, "\t"))
+	}
+	fmt.Fprintf(os.Stderr, "(%d rows)\n", rows.Len())
+	return nil
+}
+
+func cmdAnalyze(args []string) error {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	dir := fs.String("dir", "", "snapshot store directory")
+	asOf := fs.String("as-of", "", "build as of date (YYYY-MM-DD)")
+	_ = fs.Parse(args)
+	store, err := loadStore(*dir)
+	if err != nil {
+		return err
+	}
+	g, err := buildDB(*dir, *asOf)
+	if err != nil {
+		return err
+	}
+	p, err := paths.NewPipeline(g, store)
+	if err != nil {
+		return err
+	}
+	n, err := p.StoreIPASNDNS()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("analyzed %d measurements; ip_asn_dns now holds %d rows\n", len(p.Measurements), n)
+	rows := g.Rel.MustQuery(`SELECT geo_source, COUNT(*) FROM ip_asn_dns GROUP BY geo_source ORDER BY 2 DESC`)
+	for _, r := range rows.Rows {
+		src, _ := r[0].AsText()
+		if src == "" {
+			src = "(unlocated)"
+		}
+		cnt, _ := r[1].AsInt()
+		fmt.Printf("  %-12s %d\n", src, cnt)
+	}
+	return nil
+}
+
+func cmdExport(args []string) error {
+	fs := flag.NewFlagSet("export", flag.ExitOnError)
+	dir := fs.String("dir", "", "snapshot store directory")
+	asOf := fs.String("as-of", "", "build as of date (YYYY-MM-DD)")
+	layer := fs.String("layer", "", "layer: phys_nodes | std_paths | sub_cables | city_points | city_polygons")
+	format := fs.String("format", "geojson", "geojson or svg")
+	out := fs.String("o", "", "output file (default stdout)")
+	_ = fs.Parse(args)
+	g, err := buildDB(*dir, *asOf)
+	if err != nil {
+		return err
+	}
+	var data []byte
+	switch *format {
+	case "geojson":
+		data, err = exportGeoJSON(g, *layer)
+	case "svg":
+		data, err = exportSVG(g, *layer)
+	default:
+		return fmt.Errorf("unknown format %q", *format)
+	}
+	if err != nil {
+		return err
+	}
+	if *out == "" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(*out, data, 0o644)
+}
+
+// layerGeometries yields (wkt geometry, properties) pairs for a layer.
+func layerGeometries(g *core.IGDB, layer string, yield func(wkt.Geometry, map[string]interface{}) error) error {
+	switch layer {
+	case "phys_nodes":
+		rows := g.Rel.MustQuery(`SELECT node_name, organization, metro, country, longitude, latitude FROM phys_nodes`)
+		for _, r := range rows.Rows {
+			name, _ := r[0].AsText()
+			org, _ := r[1].AsText()
+			metro, _ := r[2].AsText()
+			country, _ := r[3].AsText()
+			lon, _ := r[4].AsFloat()
+			lat, _ := r[5].AsFloat()
+			err := yield(wkt.NewPoint(geo.Point{Lon: lon, Lat: lat}),
+				map[string]interface{}{"name": name, "organization": org, "metro": metro, "country": country})
+			if err != nil {
+				return err
+			}
+		}
+	case "std_paths":
+		rows := g.Rel.MustQuery(`SELECT from_metro, to_metro, distance_km, path_wkt FROM std_paths`)
+		for _, r := range rows.Rows {
+			from, _ := r[0].AsText()
+			to, _ := r[1].AsText()
+			km, _ := r[2].AsFloat()
+			s, _ := r[3].AsText()
+			geomW, err := wkt.Parse(s)
+			if err != nil {
+				continue
+			}
+			if err := yield(geomW, map[string]interface{}{"from": from, "to": to, "km": km}); err != nil {
+				return err
+			}
+		}
+	case "sub_cables":
+		rows := g.Rel.MustQuery(`SELECT cable_name, length_km, cable_wkt FROM sub_cables`)
+		for _, r := range rows.Rows {
+			name, _ := r[0].AsText()
+			km, _ := r[1].AsFloat()
+			s, _ := r[2].AsText()
+			geomW, err := wkt.Parse(s)
+			if err != nil {
+				continue
+			}
+			if err := yield(geomW, map[string]interface{}{"name": name, "km": km}); err != nil {
+				return err
+			}
+		}
+	case "city_points":
+		rows := g.Rel.MustQuery(`SELECT city, country, longitude, latitude, population FROM city_points`)
+		for _, r := range rows.Rows {
+			city, _ := r[0].AsText()
+			country, _ := r[1].AsText()
+			lon, _ := r[2].AsFloat()
+			lat, _ := r[3].AsFloat()
+			pop, _ := r[4].AsInt()
+			err := yield(wkt.NewPoint(geo.Point{Lon: lon, Lat: lat}),
+				map[string]interface{}{"city": city, "country": country, "population": pop})
+			if err != nil {
+				return err
+			}
+		}
+	case "city_polygons":
+		rows := g.Rel.MustQuery(`SELECT city, country, geom FROM city_polygons`)
+		for _, r := range rows.Rows {
+			city, _ := r[0].AsText()
+			country, _ := r[1].AsText()
+			s, _ := r[2].AsText()
+			geomW, err := wkt.Parse(s)
+			if err != nil {
+				continue
+			}
+			if err := yield(geomW, map[string]interface{}{"city": city, "country": country}); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("unknown layer %q", layer)
+	}
+	return nil
+}
+
+func exportGeoJSON(g *core.IGDB, layer string) ([]byte, error) {
+	var fc render.FeatureCollection
+	err := layerGeometries(g, layer, func(geom wkt.Geometry, props map[string]interface{}) error {
+		return fc.Add(geom, props)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return fc.Marshal()
+}
+
+func exportSVG(g *core.IGDB, layer string) ([]byte, error) {
+	m := render.NewWorldMap(1600, 800)
+	m.SetTitle("iGDB layer: " + layer)
+	style := render.Style{Stroke: "#2980b9", StrokeWidth: 0.5, Fill: "#e67e22", Radius: 1.5}
+	err := layerGeometries(g, layer, func(geom wkt.Geometry, props map[string]interface{}) error {
+		m.Geometry(geom, style)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return m.SVG(), nil
+}

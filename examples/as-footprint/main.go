@@ -1,0 +1,69 @@
+// AS-footprint example (§4.1 of the paper): identify the geographic spatial
+// extent of autonomous systems with plain SQL over iGDB — the global
+// country-footprint ranking (Table 2) and the Cox/Charter metro overlap
+// (Figure 6) — and render the overlap map as SVG.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"igdb/internal/core"
+	"igdb/internal/geo"
+	"igdb/internal/ingest"
+	"igdb/internal/render"
+	"igdb/internal/worldgen"
+)
+
+func main() {
+	world := worldgen.Generate(worldgen.SmallConfig())
+	store := ingest.NewStore("")
+	if err := ingest.Collect(world, store, time.Now().UTC()); err != nil {
+		log.Fatal(err)
+	}
+	g, err := core.Build(store, core.BuildOptions{SkipPolygons: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Table 2: which ASes have physical presence in the most countries?
+	rows := g.Rel.MustQuery(`
+		SELECT l.asn, MIN(n.asn_name) AS name, COUNT(DISTINCT l.country) AS countries
+		FROM asn_loc l
+		JOIN asn_name n ON n.asn = l.asn AND n.source = 'asrank'
+		GROUP BY l.asn ORDER BY countries DESC, l.asn LIMIT 10`)
+	fmt.Println("ASes with physical presence in the most countries:")
+	for _, r := range rows.Rows {
+		asn, _ := r[0].AsInt()
+		name, _ := r[1].AsText()
+		n, _ := r[2].AsInt()
+		fmt.Printf("  AS%-6d %-24s %d countries\n", asn, name, n)
+	}
+
+	// Figure 6: metro overlap between two access ISPs.
+	overlap := g.Rel.MustQuery(`
+		SELECT DISTINCT a.metro, a.state_province
+		FROM asn_loc a
+		JOIN asn_loc b ON a.metro = b.metro AND a.state_province = b.state_province
+		WHERE a.asn = 22773 AND b.asn IN (20115, 7843, 20001, 10796)
+		  AND a.country = 'US' AND b.country = 'US'
+		ORDER BY a.metro`)
+	fmt.Printf("\nCox ∩ Charter: %d shared metros\n", overlap.Len())
+	m := render.NewMap(geo.BBox{MinLon: -126, MinLat: 23, MaxLon: -65, MaxLat: 51}, 1000, 520)
+	m.SetTitle("Metros served by both Cox and Charter")
+	for _, r := range overlap.Rows {
+		metro, _ := r[0].AsText()
+		state, _ := r[1].AsText()
+		fmt.Printf("  %s, %s\n", metro, state)
+		if idx := g.CityByName(metro, state, "US"); idx >= 0 {
+			m.Circle(g.Cities[idx].Loc, render.Style{Stroke: "#c0392b", StrokeWidth: 2, Radius: 6})
+			m.Text(g.Cities[idx].Loc, metro, 10)
+		}
+	}
+	if err := os.WriteFile("overlap.svg", m.SVG(), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nwrote overlap.svg")
+}

@@ -1,0 +1,98 @@
+// Traceroute-paths example (§4.2 of the paper): fuse a logical traceroute
+// with iGDB's physical layer. Each hop is attributed to an AS (bdrmap),
+// geolocated (Hoiho / IXP prefixes / anchors), the metro sequence is routed
+// along inferred conduits, MPLS-hidden intermediate PoPs are proposed via a
+// 25-mile buffer join, and the route is scored with the distance cost.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"igdb/internal/core"
+	"igdb/internal/geo"
+	"igdb/internal/ingest"
+	"igdb/internal/iptrie"
+	"igdb/internal/paths"
+	"igdb/internal/render"
+	"igdb/internal/worldgen"
+)
+
+func main() {
+	world := worldgen.Generate(worldgen.SmallConfig())
+	store := ingest.NewStore("")
+	if err := ingest.Collect(world, store, time.Now().UTC()); err != nil {
+		log.Fatal(err)
+	}
+	g, err := core.Build(store, core.BuildOptions{SkipPolygons: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, err := paths.NewPipeline(g, store)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The reference measurement: Kansas City → Atlanta.
+	ref := world.FindTrace("Kansas City", "Atlanta")
+	if ref == nil {
+		log.Fatal("reference traceroute not in the mesh")
+	}
+	for _, m := range p.Measurements {
+		if m.SrcAnchor != ref.SrcAnchor || m.DstAnchor != ref.DstAnchor {
+			continue
+		}
+		ta := p.AnalyzeTrace(m)
+		fmt.Println("hop  ip               rtt(ms)  AS      metro            via")
+		for i, h := range ta.Hops {
+			metro := "?"
+			if h.City >= 0 {
+				metro = g.Cities[h.City].Name
+			}
+			fmt.Printf("%3d  %-15s  %7.2f  AS%-5d %-16s %s\n",
+				i+1, iptrie.FormatAddr(h.IP), h.RTT, h.ASN, metro, h.GeoSource)
+		}
+
+		var metros []string
+		for _, c := range ta.CitySeq {
+			metros = append(metros, g.Cities[c].Name)
+		}
+		fmt.Printf("\nvisible metro sequence: %v\n", metros)
+
+		kc := g.CityByName("Kansas City", "", "US")
+		dal := g.CityByName("Dallas", "", "US")
+		fmt.Println("\nMPLS-hidden candidates between Kansas City and Dallas (25-mile buffer):")
+		for _, c := range p.HiddenNodeCandidates(kc, dal, ta.ASPath, 25) {
+			fmt.Printf("  %s (AS%d), %.1f km off the conduit\n", g.Cities[c.City].Name, c.ASN, c.Km)
+		}
+
+		inferred, shortest, cost, ok := p.DistanceCost(ta.CitySeq)
+		if ok {
+			fmt.Printf("\ninferred physical route: %.0f km\n", inferred)
+			fmt.Printf("shortest practical path: %.0f km\n", shortest)
+			fmt.Printf("distance cost:           %.2f\n", cost)
+		}
+
+		// Render the three-path comparison.
+		mp := render.NewMap(geo.BBox{MinLon: -103, MinLat: 26, MaxLon: -78, MaxLat: 42}, 1100, 700)
+		mp.SetTitle("Traceroute (blue) vs inferred physical (green) vs shortest practical (orange)")
+		var straight []geo.Point
+		for _, c := range ta.CitySeq {
+			straight = append(straight, g.Cities[c].Loc)
+		}
+		mp.Polyline(straight, render.Style{Stroke: "#2980b9", StrokeWidth: 2})
+		routeGeom, _ := p.InferredRoute(ta.CitySeq)
+		mp.Polyline(routeGeom, render.Style{Stroke: "#27ae60", StrokeWidth: 1.6})
+		if sp, _, ok := g.Paths.ShortestPracticalPath(ta.CitySeq[0], ta.CitySeq[len(ta.CitySeq)-1]); ok {
+			mp.Polyline(g.Paths.RouteGeometry(sp), render.Style{Stroke: "#e67e22", StrokeWidth: 1.6, Dash: "6,3"})
+		}
+		if err := os.WriteFile("physical_path.svg", mp.SVG(), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("\nwrote physical_path.svg")
+		return
+	}
+	log.Fatal("measurement for the reference traceroute not found")
+}

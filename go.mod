@@ -1,0 +1,3 @@
+module igdb
+
+go 1.22

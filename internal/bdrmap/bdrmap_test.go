@@ -1,0 +1,126 @@
+package bdrmap
+
+import (
+	"reflect"
+	"testing"
+
+	"igdb/internal/iptrie"
+	"igdb/internal/sources/routeviews"
+)
+
+func table() []routeviews.Record {
+	return []routeviews.Record{
+		{Prefix: iptrie.MustParsePrefix("10.0.0.0/16"), Origin: 100},
+		{Prefix: iptrie.MustParsePrefix("20.0.0.0/16"), Origin: 200},
+		{Prefix: iptrie.MustParsePrefix("30.0.0.0/16"), Origin: 300},
+	}
+}
+
+func ip(s string) uint32 { return iptrie.MustParseAddr(s) }
+
+func TestLookup(t *testing.T) {
+	m := New(table())
+	if asn, ok := m.Lookup(ip("10.0.2.3")); !ok || asn != 100 {
+		t.Errorf("got %d %v", asn, ok)
+	}
+	if _, ok := m.Lookup(ip("99.0.0.1")); ok {
+		t.Error("unannounced space should not resolve")
+	}
+}
+
+func TestMapTracePlainLPM(t *testing.T) {
+	m := New(table())
+	ips := []uint32{ip("10.0.0.1"), ip("20.0.0.1"), ip("30.0.0.1")}
+	got := m.MapTrace(ips, nil)
+	if !reflect.DeepEqual(got, []int{100, 200, 300}) {
+		t.Errorf("got %v", got)
+	}
+	if path := ASPath(got); !reflect.DeepEqual(path, []int{100, 200, 300}) {
+		t.Errorf("ASPath = %v", path)
+	}
+}
+
+func TestBorderCorrection(t *testing.T) {
+	m := New(table())
+	// The border router of AS200 responds with an address from AS100's
+	// space (10.0.0.9), but its hostname belongs to AS200's domain.
+	ptr := map[uint32]string{
+		ip("10.0.0.1"): "r1.isp100.net",
+		ip("10.0.0.2"): "r2.isp100.net",
+		ip("10.0.0.9"): "border.isp200.net", // borrowed address
+		ip("20.0.0.1"): "core1.isp200.net",
+		ip("20.0.0.2"): "core2.isp200.net",
+	}
+	traces := [][]uint32{
+		{ip("10.0.0.1"), ip("10.0.0.2"), ip("10.0.0.9"), ip("20.0.0.1"), ip("20.0.0.2")},
+		{ip("10.0.0.2"), ip("20.0.0.1")},
+		{ip("20.0.0.2"), ip("20.0.0.1")},
+	}
+	m.LearnDomains(traces, ptr)
+	if owner := m.DomainOwner("isp200.net"); owner != 200 {
+		t.Fatalf("domain owner = %d, want 200", owner)
+	}
+	got := m.MapTrace(traces[0], ptr)
+	want := []int{100, 100, 200, 200, 200}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("MapTrace = %v, want %v", got, want)
+	}
+	if path := ASPath(got); !reflect.DeepEqual(path, []int{100, 200}) {
+		t.Errorf("ASPath = %v", path)
+	}
+}
+
+func TestBorderCorrectionMapItSignature(t *testing.T) {
+	m := New(table())
+	// A hop numbered from its predecessor's space whose hostname belongs to
+	// another domain carries the MAP-IT borrowed-/30 signature and is
+	// reassigned even when the owner AS has no other hop on the trace.
+	ptr := map[uint32]string{
+		ip("10.0.0.9"): "border.isp200.net",
+		ip("20.0.0.1"): "core.isp200.net",
+	}
+	m.LearnDomains([][]uint32{{ip("20.0.0.1")}}, ptr)
+	got := m.MapTrace([]uint32{ip("10.0.0.1"), ip("10.0.0.9"), ip("30.0.0.1")}, ptr)
+	if got[1] != 200 {
+		t.Errorf("MAP-IT signature not applied: %v", got)
+	}
+}
+
+func TestStaleRDNSWithoutSignatureKept(t *testing.T) {
+	m := New(table())
+	// Hop 20.0.0.5 has a stale hostname claiming AS300, but its LPM AS
+	// differs from its predecessor's (no borrowed-/30 signature) and AS300
+	// is nowhere on the trace: the LPM attribution stands.
+	ptr := map[uint32]string{
+		ip("20.0.0.5"): "stale.isp300.net",
+		ip("30.0.0.1"): "r.isp300.net",
+	}
+	m.LearnDomains([][]uint32{{ip("30.0.0.1")}}, ptr)
+	got := m.MapTrace([]uint32{ip("10.0.0.1"), ip("20.0.0.5"), ip("20.0.0.9")}, ptr)
+	if got[1] != 200 {
+		t.Errorf("stale rDNS flipped attribution: %v", got)
+	}
+}
+
+func TestLearnDomainsMajority(t *testing.T) {
+	m := New(table())
+	// shared.net hostnames appear under two ASes with no majority.
+	ptr := map[uint32]string{
+		ip("10.0.0.1"): "a.shared.net",
+		ip("20.0.0.1"): "b.shared.net",
+	}
+	m.LearnDomains([][]uint32{{ip("10.0.0.1"), ip("20.0.0.1")}}, ptr)
+	if owner := m.DomainOwner("shared.net"); owner != -1 {
+		t.Errorf("ambiguous domain mapped to %d", owner)
+	}
+}
+
+func TestASPathDropsUnknownAndDuplicates(t *testing.T) {
+	got := ASPath([]int{100, 100, -1, 200, 200, 100})
+	if !reflect.DeepEqual(got, []int{100, 200, 100}) {
+		t.Errorf("got %v", got)
+	}
+	if got := ASPath(nil); got != nil {
+		t.Error("empty input should be nil")
+	}
+}

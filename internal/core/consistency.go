@@ -1,0 +1,129 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ConsistencyReport is the outcome of the cross-layer consistency audit.
+type ConsistencyReport struct {
+	Violations []string
+	Checked    int // total rows audited
+}
+
+// OK reports whether the database passed all checks.
+func (r ConsistencyReport) OK() bool { return len(r.Violations) == 0 }
+
+func (r *ConsistencyReport) addf(format string, args ...interface{}) {
+	if len(r.Violations) < 50 { // cap the report; the count still grows
+		r.Violations = append(r.Violations, fmt.Sprintf(format, args...))
+	}
+}
+
+// ConsistencyCheck enforces iGDB's cross-layer organizing rules:
+//
+//  1. every physical node's standardized location exists in city_points;
+//  2. every logical row claiming geography (asn_loc) references a standard
+//     city;
+//  3. every inferred standard path's endpoints are standard cities hosting
+//     at least one physical node;
+//  4. as_of_date is populated on every row of every relation;
+//  5. every asn_loc ASN appears in asn_name (the ASN bridge key resolves).
+func (g *IGDB) ConsistencyCheck() ConsistencyReport {
+	var rep ConsistencyReport
+
+	cityKeys := make(map[string]bool, len(g.Cities))
+	for _, c := range g.Cities {
+		cityKeys[strings.ToLower(c.Key())] = true
+	}
+	lookup := func(metro, state, country string) bool {
+		return cityKeys[strings.ToLower(metro+"|"+state+"|"+country)]
+	}
+
+	// Rule 1: phys_nodes locations.
+	rows := g.Rel.MustQuery(`SELECT metro, state_province, country FROM phys_nodes`)
+	for _, r := range rows.Rows {
+		m, _ := r[0].AsText()
+		s, _ := r[1].AsText()
+		c, _ := r[2].AsText()
+		rep.Checked++
+		if !lookup(m, s, c) {
+			rep.addf("phys_nodes: location %s/%s/%s not a standard city", m, s, c)
+		}
+	}
+
+	// Rule 2: asn_loc locations.
+	rows = g.Rel.MustQuery(`SELECT metro, state_province, country FROM asn_loc`)
+	for _, r := range rows.Rows {
+		m, _ := r[0].AsText()
+		s, _ := r[1].AsText()
+		c, _ := r[2].AsText()
+		rep.Checked++
+		if !lookup(m, s, c) {
+			rep.addf("asn_loc: location %s/%s/%s not a standard city", m, s, c)
+		}
+	}
+
+	// Rule 3: std_paths endpoints standard and populated with nodes.
+	nodeCities := make(map[string]bool)
+	rows = g.Rel.MustQuery(`SELECT DISTINCT metro, state_province, country FROM phys_nodes`)
+	for _, r := range rows.Rows {
+		m, _ := r[0].AsText()
+		s, _ := r[1].AsText()
+		c, _ := r[2].AsText()
+		nodeCities[strings.ToLower(m+"|"+s+"|"+c)] = true
+	}
+	rows = g.Rel.MustQuery(`SELECT from_metro, from_state, from_country,
+		to_metro, to_state, to_country FROM std_paths`)
+	for _, r := range rows.Rows {
+		rep.Checked++
+		for side := 0; side < 2; side++ {
+			m, _ := r[side*3+0].AsText()
+			s, _ := r[side*3+1].AsText()
+			c, _ := r[side*3+2].AsText()
+			key := strings.ToLower(m + "|" + s + "|" + c)
+			if !cityKeys[key] {
+				rep.addf("std_paths: endpoint %s/%s/%s not a standard city", m, s, c)
+			} else if !nodeCities[key] {
+				rep.addf("std_paths: endpoint %s/%s/%s hosts no physical node", m, s, c)
+			}
+		}
+	}
+
+	// Rule 4: as_of_date populated everywhere it exists.
+	for _, table := range g.Rel.TableNames() {
+		t := g.Rel.Table(table)
+		col := t.ColumnIndex("as_of_date")
+		if col < 0 {
+			continue
+		}
+		for _, row := range t.Rows {
+			rep.Checked++
+			if row[col].IsNull() {
+				rep.addf("%s: row with NULL as_of_date", table)
+				break
+			}
+			if s, _ := row[col].AsText(); s == "" {
+				rep.addf("%s: row with empty as_of_date", table)
+				break
+			}
+		}
+	}
+
+	// Rule 5: asn_loc ASNs resolve through the ASN bridge key.
+	known := make(map[int64]bool)
+	rows = g.Rel.MustQuery(`SELECT DISTINCT asn FROM asn_name`)
+	for _, r := range rows.Rows {
+		n, _ := r[0].AsInt()
+		known[n] = true
+	}
+	rows = g.Rel.MustQuery(`SELECT DISTINCT asn FROM asn_loc`)
+	for _, r := range rows.Rows {
+		rep.Checked++
+		n, _ := r[0].AsInt()
+		if !known[n] {
+			rep.addf("asn_loc: AS%d has no asn_name entry", n)
+		}
+	}
+	return rep
+}

@@ -1,0 +1,273 @@
+// Package core implements iGDB proper: the cross-layer Internet database
+// the paper describes in §3. It consumes timestamped snapshots from the
+// ingest store, standardizes every physical location onto the Thiessen
+// tessellation of urban areas (§3.1), infers terrestrial standard paths
+// along transportation rights-of-way, loads the logical layer keyed by ASN
+// (§3.2), and bridges the two through the asn_loc relation (§3.3).
+//
+// The resulting relations (Figure 2 of the paper) live in an embedded
+// reldb SQL database so every use-case analysis is a self-contained query.
+package core
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"igdb/internal/geo"
+	"igdb/internal/ingest"
+	"igdb/internal/reldb"
+	"igdb/internal/spatial"
+	"igdb/internal/voronoi"
+)
+
+// StandardCity is one entry of the urban-area gazetteer that anchors both
+// layers. Index in IGDB.Cities is the canonical city id used by the spatial
+// structures; SQL rows reference cities by (metro, state, country) strings,
+// exactly as the paper's schema does.
+type StandardCity struct {
+	Name       string
+	State      string
+	Country    string
+	Loc        geo.Point
+	Population int
+}
+
+// Key renders the unique (metro, state, country) label.
+func (c StandardCity) Key() string {
+	return c.Name + "|" + c.State + "|" + c.Country
+}
+
+// Metro renders the paper's "City-CC" metro label (Table 3 style).
+func (c StandardCity) Metro() string { return c.Name + "-" + c.Country }
+
+// IGDB is a built cross-layer database.
+type IGDB struct {
+	Rel    *reldb.DB
+	Cities []StandardCity
+	// Diagram is the Thiessen tessellation over Cities (nil when
+	// BuildOptions.SkipPolygons).
+	Diagram *voronoi.Diagram
+	// Row is the right-of-way network used for standard-path inference.
+	Row *RowNetwork
+	// Paths is the inferred-physical-path network (nodes are cities, edges
+	// are standard paths); the substrate for "shortest practical physical
+	// path" analyses (§4.2).
+	Paths *PathNetwork
+	AsOf  time.Time
+
+	tree    *spatial.KDTree
+	cityIdx map[string]int
+	// pendingAdjacencies holds the standardized Atlas PoP adjacencies
+	// between loadAtlas and inferStandardPaths.
+	pendingAdjacencies [][2]int
+}
+
+// BuildOptions controls the build.
+type BuildOptions struct {
+	// AsOf selects snapshots at-or-before this instant; zero = newest.
+	AsOf time.Time
+	// SkipPolygons disables city_polygons/Diagram construction (the
+	// nearest-neighbour join does not need them; they exist for analysis
+	// and rendering).
+	SkipPolygons bool
+	// MaxStandardPaths caps right-of-way inference (0 = unlimited); useful
+	// for quick interactive builds.
+	MaxStandardPaths int
+}
+
+// Standardize maps any coordinate to its closest urban area, returning the
+// city index. This is the spatial join at the heart of §3.1.
+func (g *IGDB) Standardize(p geo.Point) int {
+	e, _, ok := g.tree.Nearest(p)
+	if !ok {
+		return -1
+	}
+	return e.ID
+}
+
+// CityByName resolves a city label (case-insensitive, optionally with
+// state/country) to an index, or -1. Ambiguous bare names resolve to the
+// most populous match, mirroring how name-only sources (PCH, HE) are
+// matched.
+func (g *IGDB) CityByName(name, state, country string) int {
+	name = strings.ToLower(strings.TrimSpace(name))
+	best, bestPop := -1, -1
+	for i, c := range g.Cities {
+		if strings.ToLower(c.Name) != name {
+			continue
+		}
+		if state != "" && !strings.EqualFold(c.State, state) {
+			continue
+		}
+		if country != "" && !strings.EqualFold(c.Country, country) {
+			continue
+		}
+		if c.Population > bestPop {
+			best, bestPop = i, c.Population
+		}
+	}
+	return best
+}
+
+// CityIndex resolves an exact (metro, state, country) triple to an index.
+func (g *IGDB) CityIndex(name, state, country string) int {
+	if i, ok := g.cityIdx[name+"|"+state+"|"+country]; ok {
+		return i
+	}
+	return -1
+}
+
+// Build constructs the database from the snapshot store.
+func Build(store *ingest.Store, opts BuildOptions) (*IGDB, error) {
+	g := &IGDB{
+		Rel:     reldb.New(),
+		AsOf:    opts.AsOf,
+		cityIdx: make(map[string]int),
+	}
+	if err := g.createSchema(); err != nil {
+		return nil, err
+	}
+	g.registerSQLFunctions()
+
+	if err := g.loadCities(store, opts); err != nil {
+		return nil, err
+	}
+	if err := g.loadRightOfWay(store, opts); err != nil {
+		return nil, err
+	}
+	if err := g.loadAtlas(store, opts); err != nil {
+		return nil, err
+	}
+	if err := g.loadPeeringDB(store, opts); err != nil {
+		return nil, err
+	}
+	if err := g.loadPCHAndHE(store, opts); err != nil {
+		return nil, err
+	}
+	if err := g.loadEuroIX(store, opts); err != nil {
+		return nil, err
+	}
+	if err := g.loadASRank(store, opts); err != nil {
+		return nil, err
+	}
+	if err := g.loadTelegeography(store, opts); err != nil {
+		return nil, err
+	}
+	if err := g.loadRDNS(store, opts); err != nil {
+		return nil, err
+	}
+	if err := g.loadAnchors(store, opts); err != nil {
+		return nil, err
+	}
+	if err := g.inferStandardPaths(opts); err != nil {
+		return nil, err
+	}
+	g.Paths = g.buildPathNetwork()
+	return g, nil
+}
+
+// createSchema creates every Figure 2 relation. as_of_date is mandatory on
+// all of them (§3's snapshot semantics).
+func (g *IGDB) createSchema() error {
+	stmts := []string{
+		`CREATE TABLE city_points (city TEXT, state_province TEXT, country TEXT,
+			longitude REAL, latitude REAL, population INTEGER, as_of_date TEXT)`,
+		`CREATE TABLE city_polygons (city TEXT, state_province TEXT, country TEXT,
+			geom TEXT, as_of_date TEXT)`,
+		`CREATE TABLE phys_nodes (node_name TEXT, organization TEXT, metro TEXT,
+			state_province TEXT, country TEXT, latitude REAL, longitude REAL,
+			source TEXT, as_of_date TEXT)`,
+		`CREATE TABLE std_paths (from_metro TEXT, from_state TEXT, from_country TEXT,
+			to_metro TEXT, to_state TEXT, to_country TEXT, distance_km REAL,
+			path_wkt TEXT, as_of_date TEXT)`,
+		`CREATE TABLE sub_cables (cable_id INTEGER, cable_name TEXT, length_km REAL,
+			cable_wkt TEXT, as_of_date TEXT)`,
+		`CREATE TABLE land_points (cable_id INTEGER, city TEXT, state_province TEXT,
+			country TEXT, latitude REAL, longitude REAL, as_of_date TEXT)`,
+		`CREATE TABLE asn_name (asn INTEGER, asn_name TEXT, source TEXT, as_of_date TEXT)`,
+		`CREATE TABLE asn_org (asn INTEGER, organization TEXT, source TEXT, as_of_date TEXT)`,
+		`CREATE TABLE asn_conn (from_asn INTEGER, to_asn INTEGER, rel INTEGER, as_of_date TEXT)`,
+		`CREATE TABLE asn_loc (asn INTEGER, metro TEXT, state_province TEXT,
+			country TEXT, source TEXT, remote BOOLEAN, as_of_date TEXT)`,
+		`CREATE TABLE ixps (ixp_name TEXT, metro TEXT, country TEXT, source TEXT, as_of_date TEXT)`,
+		`CREATE TABLE ixp_prefixes (ixp_name TEXT, prefix TEXT, source TEXT, as_of_date TEXT)`,
+		`CREATE TABLE rdns (ip TEXT, hostname TEXT, as_of_date TEXT)`,
+		`CREATE TABLE anchors (anchor_id INTEGER, ip TEXT, asn INTEGER,
+			metro TEXT, state_province TEXT, country TEXT, latitude REAL,
+			longitude REAL, as_of_date TEXT)`,
+		`CREATE TABLE ip_asn_dns (ip TEXT, asn INTEGER, hostname TEXT, metro TEXT,
+			state_province TEXT, country TEXT, geo_source TEXT, as_of_date TEXT)`,
+		`CREATE INDEX ON asn_loc (asn)`,
+		`CREATE INDEX ON asn_name (asn)`,
+		`CREATE INDEX ON asn_org (asn)`,
+		`CREATE INDEX ON phys_nodes (metro)`,
+		`CREATE INDEX ON rdns (ip)`,
+	}
+	for _, s := range stmts {
+		if _, err := g.Rel.Exec(s); err != nil {
+			return fmt.Errorf("core: schema: %w", err)
+		}
+	}
+	return nil
+}
+
+// registerSQLFunctions installs geographic helpers usable from SQL.
+func (g *IGDB) registerSQLFunctions() {
+	g.Rel.RegisterFunc("GEO_DIST", func(args []reldb.Value) (reldb.Value, error) {
+		if len(args) != 4 {
+			return reldb.Null, fmt.Errorf("GEO_DIST(lon1,lat1,lon2,lat2) takes 4 arguments")
+		}
+		var f [4]float64
+		for i, a := range args {
+			v, ok := a.AsFloat()
+			if !ok {
+				return reldb.Null, nil
+			}
+			f[i] = v
+		}
+		d := geo.Haversine(geo.Point{Lon: f[0], Lat: f[1]}, geo.Point{Lon: f[2], Lat: f[3]})
+		return reldb.Float(d), nil
+	})
+	g.Rel.RegisterFunc("METRO_DIST", func(args []reldb.Value) (reldb.Value, error) {
+		if len(args) != 2 {
+			return reldb.Null, fmt.Errorf("METRO_DIST(metroA, metroB) takes 2 arguments")
+		}
+		a, _ := args[0].AsText()
+		b, _ := args[1].AsText()
+		ia, ib := g.metroIndex(a), g.metroIndex(b)
+		if ia < 0 || ib < 0 {
+			return reldb.Null, nil
+		}
+		return reldb.Float(geo.Haversine(g.Cities[ia].Loc, g.Cities[ib].Loc)), nil
+	})
+}
+
+// metroIndex resolves a "City-CC" metro label to a city index.
+func (g *IGDB) metroIndex(metro string) int {
+	dash := strings.LastIndexByte(metro, '-')
+	if dash < 0 {
+		return g.CityByName(metro, "", "")
+	}
+	return g.CityByName(metro[:dash], "", metro[dash+1:])
+}
+
+// MetroIndex resolves a "City-CC" metro label to a city index, or -1.
+func (g *IGDB) MetroIndex(metro string) int { return g.metroIndex(metro) }
+
+// CityLoc returns the coordinates of city index i.
+func (g *IGDB) CityLoc(i int) geo.Point { return g.Cities[i].Loc }
+
+// NearestCityKm returns the distance from p to its standard city.
+func (g *IGDB) NearestCityKm(p geo.Point) float64 {
+	_, km, ok := g.tree.Nearest(p)
+	if !ok {
+		return math.Inf(1)
+	}
+	return km
+}
+
+func asOfText(t time.Time) string {
+	return t.UTC().Format("2006-01-02")
+}

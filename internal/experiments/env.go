@@ -1,0 +1,121 @@
+// Package experiments reproduces every table and figure in the iGDB
+// paper's evaluation (§4 + appendix). Each experiment runs the same
+// analysis the paper describes — as SQL over the iGDB relations plus the
+// measurement-fusion pipeline — against the synthetic world, and returns a
+// Result whose rows mirror what the paper reports, with paper-vs-measured
+// notes where the paper states concrete numbers.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"igdb/internal/core"
+	"igdb/internal/ingest"
+	"igdb/internal/paths"
+	"igdb/internal/sources/ripeatlas"
+	"igdb/internal/worldgen"
+)
+
+// Env is a fully built experimental environment: world, snapshots,
+// database, and the measurement pipeline.
+type Env struct {
+	World *worldgen.World
+	Store *ingest.Store
+	G     *core.IGDB
+	P     *paths.Pipeline
+}
+
+// NewEnv generates the world, collects all snapshots, builds iGDB and
+// trains the pipeline.
+func NewEnv(cfg worldgen.Config) (*Env, error) {
+	w := worldgen.Generate(cfg)
+	store := ingest.NewStore("")
+	asOf := time.Date(2026, 7, 1, 0, 0, 0, 0, time.UTC)
+	if err := ingest.Collect(w, store, asOf); err != nil {
+		return nil, err
+	}
+	g, err := core.Build(store, core.BuildOptions{})
+	if err != nil {
+		return nil, err
+	}
+	p, err := paths.NewPipeline(g, store)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.StoreIPASNDNS(); err != nil {
+		return nil, err
+	}
+	return &Env{World: w, Store: store, G: g, P: p}, nil
+}
+
+// Result is one reproduced table or figure.
+type Result struct {
+	ID     string // "table1", "figure7", ...
+	Title  string
+	Header []string
+	Rows   [][]string
+	// Notes carries paper-vs-measured commentary.
+	Notes []string
+	// Artifacts holds regenerated figure files (SVG/GeoJSON) by filename.
+	Artifacts map[string][]byte
+}
+
+func (r *Result) addRow(cells ...string) { r.Rows = append(r.Rows, cells) }
+
+func (r *Result) notef(format string, args ...interface{}) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+func (r *Result) artifact(name string, data []byte) {
+	if r.Artifacts == nil {
+		r.Artifacts = make(map[string][]byte)
+	}
+	r.Artifacts[name] = data
+}
+
+// All runs every experiment in paper order.
+func (e *Env) All() []Result {
+	return []Result{
+		e.Table1(),
+		e.Table2(),
+		e.Table3(),
+		e.Figure3(),
+		e.Figure4(),
+		e.Figure5(),
+		e.Figure6(),
+		e.Figure7(),
+		e.Figure8(),
+		e.Figure9(),
+		e.Figure10(),
+		e.Section44(),
+	}
+}
+
+// measurementBetween finds the mesh measurement between two named metros.
+func (e *Env) measurementBetween(src, dst string) (ripeatlas.Measurement, bool) {
+	tr := e.World.FindTrace(src, dst)
+	if tr == nil {
+		return ripeatlas.Measurement{}, false
+	}
+	for _, m := range e.P.Measurements {
+		if m.SrcAnchor == tr.SrcAnchor && m.DstAnchor == tr.DstAnchor {
+			return m, true
+		}
+	}
+	return ripeatlas.Measurement{}, false
+}
+
+// intCell formats an int.
+func intCell(n int) string { return fmt.Sprintf("%d", n) }
+
+// sortedKeys returns map keys in stable order.
+func sortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

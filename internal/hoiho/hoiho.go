@@ -1,0 +1,259 @@
+// Package hoiho reimplements the part of Hoiho [Luckie et al. 2021] that
+// iGDB consumes: mapping router hostnames to metro locations via learned
+// per-domain naming conventions. Operators embed 3-letter city codes at a
+// fixed dot-token position ("be2695.rcr21.drs01.atlas.cogentco.com" →
+// Dresden); given training pairs of (hostname, true metro), the extractor
+// learns which token carries the code for each domain and builds a
+// code→city dictionary, then geolocates unseen hostnames — including
+// metros never seen in training, via code derivation from the gazetteer.
+package hoiho
+
+import (
+	"sort"
+	"strings"
+
+	"igdb/internal/core"
+	"igdb/internal/worldgen"
+)
+
+// Example is one labeled training hostname.
+type Example struct {
+	Hostname string
+	City     int // index into the standard-city gazetteer
+}
+
+// Extractor geolocates hostnames by learned convention.
+type Extractor struct {
+	// conventions maps a registrable domain to the token index carrying the
+	// city code.
+	conventions map[string]int
+	// codes maps a 3-letter code to candidate city indices derived from the
+	// gazetteer, most populous first.
+	codes map[string][]int
+	// learned maps codes to cities observed in training: operators'
+	// coordinated codes don't always match the name derivation, and a code
+	// seen with a known metro beats any derivation.
+	learned map[string]int
+	cities  []core.StandardCity
+}
+
+// registrableDomain approximates the registered suffix as the last two
+// labels ("cogentco.com" from "…atlas.cogentco.com").
+func registrableDomain(hostname string) string {
+	labels := strings.Split(strings.ToLower(hostname), ".")
+	if len(labels) < 2 {
+		return strings.ToLower(hostname)
+	}
+	return strings.Join(labels[len(labels)-2:], ".")
+}
+
+// hostTokens returns the dot-tokens preceding the registrable domain.
+func hostTokens(hostname string) []string {
+	labels := strings.Split(strings.ToLower(hostname), ".")
+	if len(labels) <= 2 {
+		return nil
+	}
+	return labels[:len(labels)-2]
+}
+
+// leadingLetters returns the maximal alphabetic prefix of a token.
+func leadingLetters(token string) string {
+	for i := 0; i < len(token); i++ {
+		c := token[i]
+		if c < 'a' || c > 'z' {
+			return token[:i]
+		}
+	}
+	return token
+}
+
+// Learn builds an extractor from training pairs over the given gazetteer.
+// A domain's convention is accepted when at least minSupport examples agree
+// on a token position and they form a majority of that domain's examples.
+func Learn(examples []Example, cities []core.StandardCity) *Extractor {
+	const minSupport = 2
+	e := &Extractor{
+		conventions: make(map[string]int),
+		codes:       make(map[string][]int),
+		learned:     make(map[string]int),
+		cities:      cities,
+	}
+	// code dictionary from the full gazetteer, most populous candidate first.
+	for i, c := range cities {
+		code := worldgen.CityCode(c.Name)
+		e.codes[code] = append(e.codes[code], i)
+	}
+	for code := range e.codes {
+		ids := e.codes[code]
+		sort.Slice(ids, func(a, b int) bool {
+			return cities[ids[a]].Population > cities[ids[b]].Population
+		})
+	}
+
+	// The learner assumes nothing about how operators pick their codes
+	// (they coordinate on unambiguous ones, which need not match any name
+	// derivation). For every (domain, token position), tally which 3-letter
+	// codes co-occur with which labeled cities. The code position is the one
+	// where the mapping is (near-)functional: one city per code.
+	// Infrastructure tokens ("rcr21", "ccr31") fail that test — the same few
+	// codes recur across many cities.
+	type slot struct {
+		domain string
+		idx    int
+	}
+	occur := make(map[slot]map[string]map[int]int) // code -> city -> count
+	totals := make(map[string]int)
+	for _, ex := range examples {
+		if ex.City < 0 || ex.City >= len(cities) {
+			continue
+		}
+		domain := registrableDomain(ex.Hostname)
+		totals[domain]++
+		for idx, tok := range hostTokens(ex.Hostname) {
+			code := leadingLetters(tok)
+			if len(code) != 3 {
+				continue
+			}
+			k := slot{domain, idx}
+			if occur[k] == nil {
+				occur[k] = make(map[string]map[int]int)
+			}
+			if occur[k][code] == nil {
+				occur[k][code] = make(map[int]int)
+			}
+			occur[k][code][ex.City]++
+		}
+	}
+	bestVotes := make(map[string]int)
+	bestIdx := make(map[string]int)
+	for k, byCode := range occur {
+		votes := 0
+		ambiguous := 0
+		for _, byCity := range byCode {
+			maxN := 0
+			for _, n := range byCity {
+				if n > maxN {
+					maxN = n
+				}
+			}
+			votes += maxN
+			if len(byCity) > 1 {
+				ambiguous++
+			}
+		}
+		// Reject positions where codes recur across cities (>10% ambiguous).
+		if ambiguous*10 > len(byCode) {
+			continue
+		}
+		cur, have := bestVotes[k.domain]
+		if !have || votes > cur || (votes == cur && k.idx < bestIdx[k.domain]) {
+			bestVotes[k.domain] = votes
+			bestIdx[k.domain] = k.idx
+		}
+	}
+	for domain, votes := range bestVotes {
+		if votes >= minSupport && votes*2 > totals[domain] {
+			e.conventions[domain] = bestIdx[domain]
+		}
+	}
+	// Second pass: with conventions fixed, learn the code→metro dictionary
+	// from the training labels themselves (codes are coordinated by
+	// operators, so an observed binding beats name derivation).
+	codeVotes := make(map[string]map[int]int)
+	for _, ex := range examples {
+		if ex.City < 0 || ex.City >= len(cities) {
+			continue
+		}
+		idx, have := e.conventions[registrableDomain(ex.Hostname)]
+		if !have {
+			continue
+		}
+		tokens := hostTokens(ex.Hostname)
+		if idx >= len(tokens) {
+			continue
+		}
+		code := leadingLetters(tokens[idx])
+		if len(code) != 3 {
+			continue
+		}
+		if codeVotes[code] == nil {
+			codeVotes[code] = make(map[int]int)
+		}
+		codeVotes[code][ex.City]++
+	}
+	for code, byCity := range codeVotes {
+		bestCity, bestN, total := -1, 0, 0
+		for city, n := range byCity {
+			total += n
+			if n > bestN || (n == bestN && city < bestCity) {
+				bestCity, bestN = city, n
+			}
+		}
+		if bestN >= minSupport && bestN*2 > total {
+			e.learned[code] = bestCity
+		}
+	}
+	return e
+}
+
+// candidatesFor merges the learned binding (first) with derived candidates.
+func (e *Extractor) candidatesFor(code string) []int {
+	derived := e.codes[code]
+	city, have := e.learned[code]
+	if !have {
+		return derived
+	}
+	out := []int{city}
+	for _, c := range derived {
+		if c != city {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Domains returns the number of learned domain conventions.
+func (e *Extractor) Domains() int { return len(e.conventions) }
+
+// Locate geolocates a hostname, returning the city index. ok is false when
+// the domain has no learned convention, the token carries no 3-letter code,
+// or the code matches no gazetteer city.
+func (e *Extractor) Locate(hostname string) (city int, ok bool) {
+	domain := registrableDomain(hostname)
+	idx, have := e.conventions[domain]
+	if !have {
+		return -1, false
+	}
+	tokens := hostTokens(hostname)
+	if idx >= len(tokens) {
+		return -1, false
+	}
+	code := leadingLetters(tokens[idx])
+	if len(code) != 3 {
+		return -1, false
+	}
+	cands := e.candidatesFor(code)
+	if len(cands) == 0 {
+		return -1, false
+	}
+	return cands[0], true
+}
+
+// Candidates returns every gazetteer city matching the hostname's code, for
+// callers that disambiguate with extra context (e.g. latency constraints).
+func (e *Extractor) Candidates(hostname string) []int {
+	domain := registrableDomain(hostname)
+	idx, have := e.conventions[domain]
+	if !have {
+		return nil
+	}
+	tokens := hostTokens(hostname)
+	if idx >= len(tokens) {
+		return nil
+	}
+	code := leadingLetters(tokens[idx])
+	if len(code) != 3 {
+		return nil
+	}
+	return e.candidatesFor(code)
+}

@@ -1,0 +1,223 @@
+// Package ingest implements iGDB's collection pipeline (§2 of the paper):
+// it pulls a snapshot from every input source, stamps it with an
+// acquisition time, and stores the raw bytes so the database can be rebuilt
+// for any historical as-of date. In the paper the sources are live web
+// endpoints; here they are the worldgen-backed emulations, but the
+// snapshot/refresh mechanics are identical.
+package ingest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"igdb/internal/sources/asrank"
+	"igdb/internal/sources/atlas"
+	"igdb/internal/sources/euroix"
+	"igdb/internal/sources/he"
+	"igdb/internal/sources/naturalearth"
+	"igdb/internal/sources/pch"
+	"igdb/internal/sources/peeringdb"
+	"igdb/internal/sources/rdns"
+	"igdb/internal/sources/ripeatlas"
+	"igdb/internal/sources/routeviews"
+	"igdb/internal/sources/telegeography"
+	"igdb/internal/worldgen"
+)
+
+// Sources lists every dataset the collector pulls, in collection order.
+var Sources = []string{
+	"naturalearth", "atlas", "peeringdb", "telegeography", "pch", "he",
+	"euroix", "rdns", "asrank", "routeviews", "ripeatlas",
+}
+
+// Snapshot is one timestamped pull of one source.
+type Snapshot struct {
+	Source string
+	AsOf   time.Time
+	Files  map[string][]byte
+}
+
+// Store persists snapshots. A Store with an empty dir keeps everything in
+// memory (the common case for tests and benchmarks); with a dir it mirrors
+// the paper's on-disk layout <dir>/<source>/<timestamp>/<file>.
+type Store struct {
+	dir string
+	mem map[string][]Snapshot
+}
+
+// NewStore creates a snapshot store. dir may be "" for memory-only.
+func NewStore(dir string) *Store {
+	return &Store{dir: dir, mem: make(map[string][]Snapshot)}
+}
+
+const tsLayout = "2006-01-02T15-04-05Z"
+
+// Save stores a snapshot.
+func (s *Store) Save(snap Snapshot) error {
+	if snap.Source == "" {
+		return fmt.Errorf("ingest: snapshot without source")
+	}
+	s.mem[snap.Source] = append(s.mem[snap.Source], snap)
+	sort.Slice(s.mem[snap.Source], func(i, j int) bool {
+		return s.mem[snap.Source][i].AsOf.Before(s.mem[snap.Source][j].AsOf)
+	})
+	if s.dir == "" {
+		return nil
+	}
+	base := filepath.Join(s.dir, snap.Source, snap.AsOf.UTC().Format(tsLayout))
+	if err := os.MkdirAll(base, 0o755); err != nil {
+		return err
+	}
+	for name, data := range snap.Files {
+		if strings.Contains(name, "/") || strings.Contains(name, "..") {
+			return fmt.Errorf("ingest: invalid file name %q", name)
+		}
+		if err := os.WriteFile(filepath.Join(base, name), data, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Load reads all snapshots from disk into memory (no-op for memory stores).
+func (s *Store) Load() error {
+	if s.dir == "" {
+		return nil
+	}
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	for _, src := range entries {
+		if !src.IsDir() {
+			continue
+		}
+		tsDirs, err := os.ReadDir(filepath.Join(s.dir, src.Name()))
+		if err != nil {
+			return err
+		}
+		for _, td := range tsDirs {
+			if !td.IsDir() {
+				continue
+			}
+			asOf, err := time.Parse(tsLayout, td.Name())
+			if err != nil {
+				continue
+			}
+			if s.has(src.Name(), asOf) {
+				continue
+			}
+			snap := Snapshot{Source: src.Name(), AsOf: asOf, Files: map[string][]byte{}}
+			files, err := os.ReadDir(filepath.Join(s.dir, src.Name(), td.Name()))
+			if err != nil {
+				return err
+			}
+			for _, f := range files {
+				data, err := os.ReadFile(filepath.Join(s.dir, src.Name(), td.Name(), f.Name()))
+				if err != nil {
+					return err
+				}
+				snap.Files[f.Name()] = data
+			}
+			s.mem[src.Name()] = append(s.mem[src.Name()], snap)
+		}
+		sort.Slice(s.mem[src.Name()], func(i, j int) bool {
+			return s.mem[src.Name()][i].AsOf.Before(s.mem[src.Name()][j].AsOf)
+		})
+	}
+	return nil
+}
+
+func (s *Store) has(source string, asOf time.Time) bool {
+	for _, sn := range s.mem[source] {
+		if sn.AsOf.Equal(asOf) {
+			return true
+		}
+	}
+	return false
+}
+
+// Latest returns the most recent snapshot of a source at or before asOf.
+// A zero asOf means "newest available".
+func (s *Store) Latest(source string, asOf time.Time) (Snapshot, error) {
+	snaps := s.mem[source]
+	if len(snaps) == 0 {
+		return Snapshot{}, fmt.Errorf("ingest: no snapshots for %q", source)
+	}
+	if asOf.IsZero() {
+		return snaps[len(snaps)-1], nil
+	}
+	var best *Snapshot
+	for i := range snaps {
+		if !snaps[i].AsOf.After(asOf) {
+			best = &snaps[i]
+		}
+	}
+	if best == nil {
+		return Snapshot{}, fmt.Errorf("ingest: no snapshot of %q at or before %s", source, asOf)
+	}
+	return *best, nil
+}
+
+// Versions lists the snapshot timestamps available for a source.
+func (s *Store) Versions(source string) []time.Time {
+	var out []time.Time
+	for _, sn := range s.mem[source] {
+		out = append(out, sn.AsOf)
+	}
+	return out
+}
+
+// Collect pulls a fresh snapshot of every source from the (emulated) live
+// Internet and saves it with the given acquisition time.
+func Collect(w *worldgen.World, store *Store, asOf time.Time) error {
+	ne := naturalearth.Export(w)
+	at := atlas.Export(w)
+	pdbDump := peeringdb.Export(w)
+	pdbRaw, err := peeringdb.Marshal(pdbDump)
+	if err != nil {
+		return fmt.Errorf("ingest: peeringdb: %w", err)
+	}
+	tgRaw, err := telegeography.Marshal(telegeography.Export(w))
+	if err != nil {
+		return fmt.Errorf("ingest: telegeography: %w", err)
+	}
+	exRaw, err := euroix.Marshal(euroix.Export(w))
+	if err != nil {
+		return fmt.Errorf("ingest: euroix: %w", err)
+	}
+	ar, err := asrank.Export(w)
+	if err != nil {
+		return fmt.Errorf("ingest: asrank: %w", err)
+	}
+	ra, err := ripeatlas.Export(w)
+	if err != nil {
+		return fmt.Errorf("ingest: ripeatlas: %w", err)
+	}
+	snaps := []Snapshot{
+		{Source: "naturalearth", AsOf: asOf, Files: map[string][]byte{"places.csv": ne.PlacesCSV, "roads.csv": ne.RoadsCSV}},
+		{Source: "atlas", AsOf: asOf, Files: map[string][]byte{"nodes.csv": at.NodesCSV, "links.csv": at.LinksCSV}},
+		{Source: "peeringdb", AsOf: asOf, Files: map[string][]byte{"dump.json": pdbRaw}},
+		{Source: "telegeography", AsOf: asOf, Files: map[string][]byte{"cables.json": tgRaw}},
+		{Source: "pch", AsOf: asOf, Files: map[string][]byte{"ixpdir.tsv": pch.Export(w), "asn_orgs.tsv": pch.ExportOrgs(w)}},
+		{Source: "he", AsOf: asOf, Files: map[string][]byte{"exchanges.txt": he.Export(w)}},
+		{Source: "euroix", AsOf: asOf, Files: map[string][]byte{"ixps.json": exRaw}},
+		{Source: "rdns", AsOf: asOf, Files: map[string][]byte{"ptr.tsv": rdns.Export(w)}},
+		{Source: "asrank", AsOf: asOf, Files: map[string][]byte{"asns.jsonl": ar.ASNsJSONL, "links.txt": ar.LinksTxt}},
+		{Source: "routeviews", AsOf: asOf, Files: map[string][]byte{"pfx2as.tsv": routeviews.Export(w)}},
+		{Source: "ripeatlas", AsOf: asOf, Files: map[string][]byte{"anchors.json": ra.AnchorsJSON, "measurements.jsonl": ra.MeasurementsJSONL}},
+	}
+	for _, sn := range snaps {
+		if err := store.Save(sn); err != nil {
+			return fmt.Errorf("ingest: save %s: %w", sn.Source, err)
+		}
+	}
+	return nil
+}

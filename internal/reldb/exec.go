@@ -1,0 +1,1008 @@
+package reldb
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// schema describes the columns of an intermediate joined row: one entry per
+// position, qualified by the table label (alias or name).
+type schema struct {
+	labels []string // table label per position
+	names  []string // lower-cased column name per position
+}
+
+func newSchema() *schema { return &schema{} }
+
+func (s *schema) addTable(label string, t *Table) {
+	for _, c := range t.Cols {
+		s.labels = append(s.labels, strings.ToLower(label))
+		s.names = append(s.names, strings.ToLower(c.Name))
+	}
+}
+
+// resolve finds the position of a (possibly qualified) column reference.
+func (s *schema) resolve(table, name string) (int, error) {
+	table = strings.ToLower(table)
+	name = strings.ToLower(name)
+	found := -1
+	for i := range s.names {
+		if s.names[i] != name {
+			continue
+		}
+		if table != "" && s.labels[i] != table {
+			continue
+		}
+		if found >= 0 {
+			return 0, fmt.Errorf("reldb: ambiguous column %q", name)
+		}
+		found = i
+	}
+	if found < 0 {
+		if table != "" {
+			return 0, fmt.Errorf("reldb: no column %s.%s", table, name)
+		}
+		return 0, fmt.Errorf("reldb: no column %q", name)
+	}
+	return found, nil
+}
+
+// evalEnv is the evaluation context for one row (or one group).
+type evalEnv struct {
+	db     *DB
+	schema *schema
+	row    []Value
+	group  [][]Value // non-nil while evaluating aggregate expressions
+}
+
+func (e *evalEnv) eval(x Expr) (Value, error) {
+	switch n := x.(type) {
+	case *Lit:
+		return n.V, nil
+	case *ColRef:
+		if e.schema == nil {
+			return Null, fmt.Errorf("reldb: column %q referenced outside a row context", n.Name)
+		}
+		pos, err := e.schema.resolve(n.Table, n.Name)
+		if err != nil {
+			return Null, err
+		}
+		return e.row[pos], nil
+	case *Unary:
+		return e.evalUnary(n)
+	case *Binary:
+		return e.evalBinary(n)
+	case *InExpr:
+		return e.evalIn(n)
+	case *IsNullExpr:
+		v, err := e.eval(n.X)
+		if err != nil {
+			return Null, err
+		}
+		res := v.IsNull()
+		if n.Not {
+			res = !res
+		}
+		return Bool(res), nil
+	case *BetweenExpr:
+		v, err := e.eval(n.X)
+		if err != nil {
+			return Null, err
+		}
+		lo, err := e.eval(n.Lo)
+		if err != nil {
+			return Null, err
+		}
+		hi, err := e.eval(n.Hi)
+		if err != nil {
+			return Null, err
+		}
+		if v.IsNull() || lo.IsNull() || hi.IsNull() {
+			return Null, nil
+		}
+		in := Compare(v, lo) >= 0 && Compare(v, hi) <= 0
+		if n.Not {
+			in = !in
+		}
+		return Bool(in), nil
+	case *Call:
+		if aggregateFns[n.Fn] {
+			return e.evalAggregate(n)
+		}
+		return e.evalScalarCall(n)
+	default:
+		return Null, fmt.Errorf("reldb: cannot evaluate %T", x)
+	}
+}
+
+func (e *evalEnv) evalUnary(n *Unary) (Value, error) {
+	v, err := e.eval(n.X)
+	if err != nil {
+		return Null, err
+	}
+	switch n.Op {
+	case "NOT":
+		if v.IsNull() {
+			return Null, nil
+		}
+		b, _ := v.AsBool()
+		return Bool(!b), nil
+	case "-":
+		if v.IsNull() {
+			return Null, nil
+		}
+		if v.kind == kindInt {
+			return Int(-v.i), nil
+		}
+		if f, ok := v.AsFloat(); ok {
+			return Float(-f), nil
+		}
+		return Null, fmt.Errorf("reldb: cannot negate %s", v)
+	default:
+		return Null, fmt.Errorf("reldb: unknown unary op %q", n.Op)
+	}
+}
+
+func (e *evalEnv) evalBinary(n *Binary) (Value, error) {
+	// AND/OR get three-valued logic with short-circuiting.
+	if n.Op == "AND" || n.Op == "OR" {
+		l, err := e.eval(n.L)
+		if err != nil {
+			return Null, err
+		}
+		lb, lok := l.AsBool()
+		if n.Op == "AND" && lok && !lb {
+			return Bool(false), nil
+		}
+		if n.Op == "OR" && lok && lb {
+			return Bool(true), nil
+		}
+		r, err := e.eval(n.R)
+		if err != nil {
+			return Null, err
+		}
+		rb, rok := r.AsBool()
+		if n.Op == "AND" {
+			if lok && rok {
+				return Bool(lb && rb), nil
+			}
+			if (lok && !lb) || (rok && !rb) {
+				return Bool(false), nil
+			}
+			return Null, nil
+		}
+		if lok && rok {
+			return Bool(lb || rb), nil
+		}
+		if (lok && lb) || (rok && rb) {
+			return Bool(true), nil
+		}
+		return Null, nil
+	}
+
+	l, err := e.eval(n.L)
+	if err != nil {
+		return Null, err
+	}
+	r, err := e.eval(n.R)
+	if err != nil {
+		return Null, err
+	}
+	switch n.Op {
+	case "=", "!=", "<", "<=", ">", ">=":
+		if l.IsNull() || r.IsNull() {
+			return Null, nil
+		}
+		c := Compare(l, r)
+		var res bool
+		switch n.Op {
+		case "=":
+			res = c == 0
+		case "!=":
+			res = c != 0
+		case "<":
+			res = c < 0
+		case "<=":
+			res = c <= 0
+		case ">":
+			res = c > 0
+		case ">=":
+			res = c >= 0
+		}
+		return Bool(res), nil
+	case "LIKE":
+		if l.IsNull() || r.IsNull() {
+			return Null, nil
+		}
+		ls, _ := l.AsText()
+		rs, _ := r.AsText()
+		return Bool(like(ls, rs)), nil
+	case "||":
+		if l.IsNull() || r.IsNull() {
+			return Null, nil
+		}
+		ls, _ := l.AsText()
+		rs, _ := r.AsText()
+		return Text(ls + rs), nil
+	case "+", "-", "*", "/":
+		if l.IsNull() || r.IsNull() {
+			return Null, nil
+		}
+		// Integer arithmetic when both sides are ints (except /0 guard).
+		if l.kind == kindInt && r.kind == kindInt {
+			switch n.Op {
+			case "+":
+				return Int(l.i + r.i), nil
+			case "-":
+				return Int(l.i - r.i), nil
+			case "*":
+				return Int(l.i * r.i), nil
+			case "/":
+				if r.i == 0 {
+					return Null, nil
+				}
+				return Int(l.i / r.i), nil
+			}
+		}
+		lf, lok := l.AsFloat()
+		rf, rok := r.AsFloat()
+		if !lok || !rok {
+			return Null, fmt.Errorf("reldb: non-numeric operand for %q", n.Op)
+		}
+		switch n.Op {
+		case "+":
+			return Float(lf + rf), nil
+		case "-":
+			return Float(lf - rf), nil
+		case "*":
+			return Float(lf * rf), nil
+		default:
+			if rf == 0 {
+				return Null, nil
+			}
+			return Float(lf / rf), nil
+		}
+	default:
+		return Null, fmt.Errorf("reldb: unknown operator %q", n.Op)
+	}
+}
+
+func (e *evalEnv) evalIn(n *InExpr) (Value, error) {
+	v, err := e.eval(n.X)
+	if err != nil {
+		return Null, err
+	}
+	if v.IsNull() {
+		return Null, nil
+	}
+	sawNull := false
+	for _, le := range n.List {
+		lv, err := e.eval(le)
+		if err != nil {
+			return Null, err
+		}
+		if lv.IsNull() {
+			sawNull = true
+			continue
+		}
+		if Compare(v, lv) == 0 {
+			return Bool(!n.Not), nil
+		}
+	}
+	if sawNull {
+		return Null, nil
+	}
+	return Bool(n.Not), nil
+}
+
+func (e *evalEnv) evalScalarCall(n *Call) (Value, error) {
+	fn, ok := e.db.funcs[n.Fn]
+	if !ok {
+		return Null, fmt.Errorf("reldb: unknown function %q", n.Fn)
+	}
+	args := make([]Value, len(n.Args))
+	for i, a := range n.Args {
+		v, err := e.eval(a)
+		if err != nil {
+			return Null, err
+		}
+		args[i] = v
+	}
+	return fn(args)
+}
+
+// evalAggregate computes an aggregate over e.group.
+func (e *evalEnv) evalAggregate(n *Call) (Value, error) {
+	if e.group == nil {
+		return Null, fmt.Errorf("reldb: aggregate %s outside grouped context", n.Fn)
+	}
+	if n.Star {
+		if n.Fn != "COUNT" {
+			return Null, fmt.Errorf("reldb: %s(*) is not valid", n.Fn)
+		}
+		return Int(int64(len(e.group))), nil
+	}
+	if len(n.Args) != 1 {
+		return Null, fmt.Errorf("reldb: %s takes one argument", n.Fn)
+	}
+	// Evaluate the argument per group row.
+	var vals []Value
+	seen := map[string]bool{}
+	for _, row := range e.group {
+		sub := &evalEnv{db: e.db, schema: e.schema, row: row}
+		v, err := sub.eval(n.Args[0])
+		if err != nil {
+			return Null, err
+		}
+		if v.IsNull() {
+			continue
+		}
+		if n.Distinct {
+			k := v.key()
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+		}
+		vals = append(vals, v)
+	}
+	switch n.Fn {
+	case "COUNT":
+		return Int(int64(len(vals))), nil
+	case "SUM", "AVG":
+		if len(vals) == 0 {
+			return Null, nil
+		}
+		var sum float64
+		allInt := true
+		for _, v := range vals {
+			f, ok := v.AsFloat()
+			if !ok {
+				return Null, fmt.Errorf("reldb: %s over non-numeric value %s", n.Fn, v)
+			}
+			if v.kind != kindInt {
+				allInt = false
+			}
+			sum += f
+		}
+		if n.Fn == "AVG" {
+			return Float(sum / float64(len(vals))), nil
+		}
+		if allInt && sum == math.Trunc(sum) {
+			return Int(int64(sum)), nil
+		}
+		return Float(sum), nil
+	case "MIN", "MAX":
+		if len(vals) == 0 {
+			return Null, nil
+		}
+		best := vals[0]
+		for _, v := range vals[1:] {
+			c := Compare(v, best)
+			if (n.Fn == "MIN" && c < 0) || (n.Fn == "MAX" && c > 0) {
+				best = v
+			}
+		}
+		return best, nil
+	default:
+		return Null, fmt.Errorf("reldb: unknown aggregate %q", n.Fn)
+	}
+}
+
+// ---- SELECT execution ----
+
+func (db *DB) execSelect(s *SelectStmt) (*Rows, error) {
+	sch := newSchema()
+	var rows [][]Value
+	if s.From == nil {
+		// Expression-only select: SELECT 1+1.
+		rows = [][]Value{nil}
+	} else {
+		base, ok := db.tables[strings.ToLower(s.From.Name)]
+		if !ok {
+			return nil, fmt.Errorf("reldb: no such table %q", s.From.Name)
+		}
+		sch.addTable(s.From.label(), base)
+		rows = make([][]Value, len(base.Rows))
+		copy(rows, base.Rows)
+		for _, j := range s.Joins {
+			jt, ok := db.tables[strings.ToLower(j.Table.Name)]
+			if !ok {
+				return nil, fmt.Errorf("reldb: no such table %q", j.Table.Name)
+			}
+			var err error
+			rows, err = db.join(sch, rows, j, jt)
+			if err != nil {
+				return nil, err
+			}
+			sch.addTable(j.Table.label(), jt)
+		}
+	}
+
+	// WHERE.
+	if s.Where != nil {
+		if hasAggregate(s.Where) {
+			return nil, fmt.Errorf("reldb: aggregates are not allowed in WHERE")
+		}
+		filtered := rows[:0:0]
+		for _, row := range rows {
+			env := &evalEnv{db: db, schema: sch, row: row}
+			v, err := env.eval(s.Where)
+			if err != nil {
+				return nil, err
+			}
+			if b, ok := v.AsBool(); ok && b {
+				filtered = append(filtered, row)
+			}
+		}
+		rows = filtered
+	}
+
+	// Expand stars into explicit items.
+	items, err := expandStars(s.Items, sch)
+	if err != nil {
+		return nil, err
+	}
+
+	grouped := len(s.GroupBy) > 0 || s.Having != nil || anyAggregate(items) ||
+		(len(s.OrderBy) > 0 && anyAggregateOrder(s.OrderBy))
+
+	out := &Rows{}
+	for _, it := range items {
+		out.Columns = append(out.Columns, itemName(it))
+	}
+
+	type outRow struct {
+		vals []Value
+		keys []Value // order-by keys
+	}
+	var result []outRow
+
+	aliasExpr := func(e Expr) Expr {
+		// ORDER BY may reference a select alias or a 1-based ordinal.
+		if c, ok := e.(*ColRef); ok && c.Table == "" {
+			for _, it := range items {
+				if strings.EqualFold(it.Alias, c.Name) {
+					return it.Expr
+				}
+			}
+		}
+		if l, ok := e.(*Lit); ok {
+			if n, ok2 := l.V.AsInt(); ok2 && n >= 1 && int(n) <= len(items) {
+				return items[n-1].Expr
+			}
+		}
+		return e
+	}
+
+	emit := func(env *evalEnv) error {
+		r := outRow{vals: make([]Value, len(items))}
+		for i, it := range items {
+			v, err := env.eval(it.Expr)
+			if err != nil {
+				return err
+			}
+			r.vals[i] = v
+		}
+		for _, ob := range s.OrderBy {
+			v, err := env.eval(aliasExpr(ob.Expr))
+			if err != nil {
+				return err
+			}
+			r.keys = append(r.keys, v)
+		}
+		result = append(result, r)
+		return nil
+	}
+
+	if grouped {
+		groups, err := groupRows(db, sch, rows, s.GroupBy)
+		if err != nil {
+			return nil, err
+		}
+		for _, g := range groups {
+			env := &evalEnv{db: db, schema: sch, row: g.first, group: g.rows}
+			if s.Having != nil {
+				v, err := env.eval(s.Having)
+				if err != nil {
+					return nil, err
+				}
+				if b, ok := v.AsBool(); !ok || !b {
+					continue
+				}
+			}
+			if err := emit(env); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		for _, row := range rows {
+			env := &evalEnv{db: db, schema: sch, row: row}
+			if err := emit(env); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// DISTINCT.
+	if s.Distinct {
+		seen := map[string]bool{}
+		dedup := result[:0:0]
+		for _, r := range result {
+			var b strings.Builder
+			for _, v := range r.vals {
+				b.WriteString(v.key())
+				b.WriteByte('\x01')
+			}
+			k := b.String()
+			if !seen[k] {
+				seen[k] = true
+				dedup = append(dedup, r)
+			}
+		}
+		result = dedup
+	}
+
+	// ORDER BY (stable, so ties preserve input order).
+	if len(s.OrderBy) > 0 {
+		sort.SliceStable(result, func(i, j int) bool {
+			for k, ob := range s.OrderBy {
+				c := Compare(result[i].keys[k], result[j].keys[k])
+				if c == 0 {
+					continue
+				}
+				if ob.Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+			return false
+		})
+	}
+
+	// OFFSET / LIMIT.
+	if s.Offset > 0 {
+		if s.Offset >= len(result) {
+			result = nil
+		} else {
+			result = result[s.Offset:]
+		}
+	}
+	if s.Limit >= 0 && s.Limit < len(result) {
+		result = result[:s.Limit]
+	}
+
+	out.Rows = make([][]Value, len(result))
+	for i, r := range result {
+		out.Rows[i] = r.vals
+	}
+	return out, nil
+}
+
+type group struct {
+	first []Value
+	rows  [][]Value
+}
+
+func groupRows(db *DB, sch *schema, rows [][]Value, by []Expr) ([]group, error) {
+	if len(by) == 0 {
+		// Single group over everything; present even when empty so COUNT(*)
+		// returns 0.
+		return []group{{first: nil, rows: rows}}, nil
+	}
+	order := []string{}
+	m := map[string]*group{}
+	for _, row := range rows {
+		env := &evalEnv{db: db, schema: sch, row: row}
+		var b strings.Builder
+		for _, e := range by {
+			v, err := env.eval(e)
+			if err != nil {
+				return nil, err
+			}
+			b.WriteString(v.key())
+			b.WriteByte('\x01')
+		}
+		k := b.String()
+		g, ok := m[k]
+		if !ok {
+			g = &group{first: row}
+			m[k] = g
+			order = append(order, k)
+		}
+		g.rows = append(g.rows, row)
+	}
+	out := make([]group, len(order))
+	for i, k := range order {
+		out[i] = *m[k]
+	}
+	return out, nil
+}
+
+func expandStars(items []SelectItem, sch *schema) ([]SelectItem, error) {
+	var out []SelectItem
+	for _, it := range items {
+		if !it.Star {
+			out = append(out, it)
+			continue
+		}
+		qual := strings.ToLower(it.Table)
+		matched := false
+		for i := range sch.names {
+			if qual != "" && sch.labels[i] != qual {
+				continue
+			}
+			matched = true
+			out = append(out, SelectItem{
+				Expr:  &ColRef{Table: sch.labels[i], Name: sch.names[i]},
+				Alias: sch.names[i],
+			})
+		}
+		if qual != "" && !matched {
+			return nil, fmt.Errorf("reldb: no table %q for %s.*", it.Table, it.Table)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("reldb: empty select list")
+	}
+	return out, nil
+}
+
+func itemName(it SelectItem) string {
+	if it.Alias != "" {
+		return it.Alias
+	}
+	if c, ok := it.Expr.(*ColRef); ok {
+		return c.Name
+	}
+	if c, ok := it.Expr.(*Call); ok {
+		return strings.ToLower(c.Fn)
+	}
+	return "expr"
+}
+
+func anyAggregate(items []SelectItem) bool {
+	for _, it := range items {
+		if hasAggregate(it.Expr) {
+			return true
+		}
+	}
+	return false
+}
+
+func anyAggregateOrder(obs []OrderItem) bool {
+	for _, ob := range obs {
+		if hasAggregate(ob.Expr) {
+			return true
+		}
+	}
+	return false
+}
+
+// join combines the current intermediate rows with table jt. When the ON
+// clause contains an equality between a column of the existing schema and a
+// column of the new table, a hash join is used; otherwise a nested loop.
+func (db *DB) join(sch *schema, left [][]Value, j JoinClause, jt *Table) ([][]Value, error) {
+	newSch := &schema{
+		labels: append([]string{}, sch.labels...),
+		names:  append([]string{}, sch.names...),
+	}
+	newSch.addTable(j.Table.label(), jt)
+
+	leftWidth := len(sch.names)
+	combine := func(l []Value, r []Value) []Value {
+		row := make([]Value, 0, leftWidth+len(jt.Cols))
+		row = append(row, l...)
+		row = append(row, r...)
+		return row
+	}
+	nullRight := make([]Value, len(jt.Cols))
+
+	// Try to extract an equi-join pair from the ON expression.
+	lExpr, rExpr := equiJoinPair(j.On, sch, newSch, j.Table.label(), jt)
+	var out [][]Value
+	if lExpr != nil {
+		// Hash the right side.
+		idx := make(map[string][][]Value)
+		for _, rrow := range jt.Rows {
+			env := &evalEnv{db: db, schema: newSch, row: combine(make([]Value, leftWidth), rrow)}
+			v, err := env.eval(rExpr)
+			if err != nil {
+				return nil, err
+			}
+			if v.IsNull() {
+				continue
+			}
+			k := v.key()
+			idx[k] = append(idx[k], rrow)
+		}
+		for _, lrow := range left {
+			envL := &evalEnv{db: db, schema: sch, row: lrow}
+			lv, err := envL.eval(lExpr)
+			if err != nil {
+				return nil, err
+			}
+			matched := false
+			if !lv.IsNull() {
+				for _, rrow := range idx[lv.key()] {
+					full := combine(lrow, rrow)
+					env := &evalEnv{db: db, schema: newSch, row: full}
+					v, err := env.eval(j.On)
+					if err != nil {
+						return nil, err
+					}
+					if b, ok := v.AsBool(); ok && b {
+						out = append(out, full)
+						matched = true
+					}
+				}
+			}
+			if !matched && j.Left {
+				out = append(out, combine(lrow, nullRight))
+			}
+		}
+		return out, nil
+	}
+
+	// Nested loop fallback.
+	for _, lrow := range left {
+		matched := false
+		for _, rrow := range jt.Rows {
+			full := combine(lrow, rrow)
+			env := &evalEnv{db: db, schema: newSch, row: full}
+			v, err := env.eval(j.On)
+			if err != nil {
+				return nil, err
+			}
+			if b, ok := v.AsBool(); ok && b {
+				out = append(out, full)
+				matched = true
+			}
+		}
+		if !matched && j.Left {
+			out = append(out, combine(lrow, nullRight))
+		}
+	}
+	return out, nil
+}
+
+// equiJoinPair finds `leftCols = rightCols` inside the ON expression (either
+// at the top level or as a conjunct of an AND chain) where the left side
+// only references existing tables and the right side only references the
+// newly joined table. Returns nil, nil when no such pair exists.
+func equiJoinPair(on Expr, leftSch, fullSch *schema, rightLabel string, jt *Table) (Expr, Expr) {
+	var conjuncts []Expr
+	var collect func(e Expr)
+	collect = func(e Expr) {
+		if b, ok := e.(*Binary); ok && b.Op == "AND" {
+			collect(b.L)
+			collect(b.R)
+			return
+		}
+		conjuncts = append(conjuncts, e)
+	}
+	collect(on)
+	for _, c := range conjuncts {
+		b, ok := c.(*Binary)
+		if !ok || b.Op != "=" {
+			continue
+		}
+		lSide := sideOf(b.L, leftSch, rightLabel, jt)
+		rSide := sideOf(b.R, leftSch, rightLabel, jt)
+		if lSide == sideLeft && rSide == sideRight {
+			return b.L, b.R
+		}
+		if lSide == sideRight && rSide == sideLeft {
+			return b.R, b.L
+		}
+	}
+	return nil, nil
+}
+
+type joinSide int
+
+const (
+	sideNone joinSide = iota
+	sideLeft
+	sideRight
+	sideMixed
+)
+
+// sideOf classifies which relation(s) an expression references.
+func sideOf(e Expr, leftSch *schema, rightLabel string, jt *Table) joinSide {
+	side := sideNone
+	add := func(s joinSide) {
+		if side == sideNone {
+			side = s
+		} else if side != s {
+			side = sideMixed
+		}
+	}
+	var walk func(Expr)
+	walk = func(e Expr) {
+		switch n := e.(type) {
+		case *ColRef:
+			tbl := strings.ToLower(n.Table)
+			name := strings.ToLower(n.Name)
+			if tbl != "" {
+				if tbl == strings.ToLower(rightLabel) {
+					add(sideRight)
+				} else {
+					add(sideLeft)
+				}
+				return
+			}
+			// Unqualified: right table wins if it (and only it) has the column.
+			inRight := jt.ColumnIndex(name) >= 0
+			inLeft := false
+			for _, ln := range leftSch.names {
+				if ln == name {
+					inLeft = true
+					break
+				}
+			}
+			switch {
+			case inRight && !inLeft:
+				add(sideRight)
+			case inLeft && !inRight:
+				add(sideLeft)
+			default:
+				add(sideMixed)
+			}
+		case *Unary:
+			walk(n.X)
+		case *Binary:
+			walk(n.L)
+			walk(n.R)
+		case *InExpr:
+			walk(n.X)
+			for _, a := range n.List {
+				walk(a)
+			}
+		case *IsNullExpr:
+			walk(n.X)
+		case *BetweenExpr:
+			walk(n.X)
+			walk(n.Lo)
+			walk(n.Hi)
+		case *Call:
+			for _, a := range n.Args {
+				walk(a)
+			}
+		}
+	}
+	walk(e)
+	return side
+}
+
+// ---- built-in scalar functions ----
+
+func registerBuiltins(db *DB) {
+	db.funcs["UPPER"] = func(args []Value) (Value, error) {
+		if err := arity("UPPER", args, 1); err != nil {
+			return Null, err
+		}
+		if args[0].IsNull() {
+			return Null, nil
+		}
+		s, _ := args[0].AsText()
+		return Text(strings.ToUpper(s)), nil
+	}
+	db.funcs["LOWER"] = func(args []Value) (Value, error) {
+		if err := arity("LOWER", args, 1); err != nil {
+			return Null, err
+		}
+		if args[0].IsNull() {
+			return Null, nil
+		}
+		s, _ := args[0].AsText()
+		return Text(strings.ToLower(s)), nil
+	}
+	db.funcs["LENGTH"] = func(args []Value) (Value, error) {
+		if err := arity("LENGTH", args, 1); err != nil {
+			return Null, err
+		}
+		if args[0].IsNull() {
+			return Null, nil
+		}
+		s, _ := args[0].AsText()
+		return Int(int64(len(s))), nil
+	}
+	db.funcs["SUBSTR"] = func(args []Value) (Value, error) {
+		if len(args) != 2 && len(args) != 3 {
+			return Null, fmt.Errorf("reldb: SUBSTR takes 2 or 3 arguments")
+		}
+		if args[0].IsNull() {
+			return Null, nil
+		}
+		s, _ := args[0].AsText()
+		start64, ok := args[1].AsInt()
+		if !ok {
+			return Null, fmt.Errorf("reldb: SUBSTR start must be an integer")
+		}
+		start := int(start64) - 1 // SQL is 1-based
+		if start < 0 {
+			start = 0
+		}
+		if start > len(s) {
+			return Text(""), nil
+		}
+		end := len(s)
+		if len(args) == 3 {
+			n64, ok := args[2].AsInt()
+			if !ok {
+				return Null, fmt.Errorf("reldb: SUBSTR length must be an integer")
+			}
+			if e := start + int(n64); e < end {
+				end = e
+			}
+			if end < start {
+				end = start
+			}
+		}
+		return Text(s[start:end]), nil
+	}
+	db.funcs["ABS"] = func(args []Value) (Value, error) {
+		if err := arity("ABS", args, 1); err != nil {
+			return Null, err
+		}
+		if args[0].IsNull() {
+			return Null, nil
+		}
+		if args[0].kind == kindInt {
+			if args[0].i < 0 {
+				return Int(-args[0].i), nil
+			}
+			return args[0], nil
+		}
+		f, ok := args[0].AsFloat()
+		if !ok {
+			return Null, fmt.Errorf("reldb: ABS of non-number")
+		}
+		return Float(math.Abs(f)), nil
+	}
+	db.funcs["ROUND"] = func(args []Value) (Value, error) {
+		if len(args) != 1 && len(args) != 2 {
+			return Null, fmt.Errorf("reldb: ROUND takes 1 or 2 arguments")
+		}
+		if args[0].IsNull() {
+			return Null, nil
+		}
+		f, ok := args[0].AsFloat()
+		if !ok {
+			return Null, fmt.Errorf("reldb: ROUND of non-number")
+		}
+		digits := int64(0)
+		if len(args) == 2 {
+			digits, _ = args[1].AsInt()
+		}
+		scale := math.Pow(10, float64(digits))
+		return Float(math.Round(f*scale) / scale), nil
+	}
+	db.funcs["COALESCE"] = func(args []Value) (Value, error) {
+		for _, a := range args {
+			if !a.IsNull() {
+				return a, nil
+			}
+		}
+		return Null, nil
+	}
+	db.funcs["IIF"] = func(args []Value) (Value, error) {
+		if err := arity("IIF", args, 3); err != nil {
+			return Null, err
+		}
+		if b, ok := args[0].AsBool(); ok && b {
+			return args[1], nil
+		}
+		return args[2], nil
+	}
+}
+
+func arity(fn string, args []Value, n int) error {
+	if len(args) != n {
+		return fmt.Errorf("reldb: %s takes %d argument(s), got %d", fn, n, len(args))
+	}
+	return nil
+}

@@ -1,0 +1,181 @@
+package reldb
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokNumber
+	tokString
+	tokSymbol // ( ) , . * = != <> < <= > >= + - / ||
+)
+
+type token struct {
+	kind tokenKind
+	text string // keywords are upper-cased
+	pos  int
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"HAVING": true, "ORDER": true, "LIMIT": true, "OFFSET": true, "ASC": true,
+	"DESC": true, "AS": true, "DISTINCT": true, "JOIN": true, "INNER": true,
+	"LEFT": true, "OUTER": true, "ON": true, "AND": true, "OR": true,
+	"NOT": true, "NULL": true, "LIKE": true, "IN": true, "IS": true,
+	"CREATE": true, "TABLE": true, "INDEX": true, "DROP": true,
+	"INSERT": true, "INTO": true, "VALUES": true, "DELETE": true,
+	"UPDATE": true, "SET": true, "INTEGER": true, "INT": true, "REAL": true,
+	"FLOAT": true, "TEXT": true, "VARCHAR": true, "BOOLEAN": true,
+	"BOOL": true, "TRUE": true, "FALSE": true, "COUNT": true, "SUM": true,
+	"AVG": true, "MIN": true, "MAX": true, "BETWEEN": true, "EXISTS": true,
+	"IF": true, "CROSS": true,
+}
+
+type lexer struct {
+	src    string
+	pos    int
+	tokens []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
+			// Line comment.
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case isIdentStart(rune(c)):
+			l.ident()
+		case c >= '0' && c <= '9':
+			l.number()
+		case c == '\'':
+			if err := l.str(); err != nil {
+				return nil, err
+			}
+		case c == '"':
+			if err := l.quotedIdent(); err != nil {
+				return nil, err
+			}
+		default:
+			if err := l.symbol(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	l.tokens = append(l.tokens, token{kind: tokEOF, pos: l.pos})
+	return l.tokens, nil
+}
+
+func isIdentStart(c rune) bool {
+	return unicode.IsLetter(c) || c == '_'
+}
+
+func isIdentPart(c rune) bool {
+	return unicode.IsLetter(c) || unicode.IsDigit(c) || c == '_'
+}
+
+func (l *lexer) ident() {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	text := l.src[start:l.pos]
+	upper := strings.ToUpper(text)
+	if keywords[upper] {
+		l.tokens = append(l.tokens, token{kind: tokKeyword, text: upper, pos: start})
+	} else {
+		l.tokens = append(l.tokens, token{kind: tokIdent, text: text, pos: start})
+	}
+}
+
+func (l *lexer) number() {
+	start := l.pos
+	seenDot, seenExp := false, false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c >= '0' && c <= '9':
+			l.pos++
+		case c == '.' && !seenDot && !seenExp:
+			seenDot = true
+			l.pos++
+		case (c == 'e' || c == 'E') && !seenExp:
+			seenExp = true
+			l.pos++
+			if l.pos < len(l.src) && (l.src[l.pos] == '+' || l.src[l.pos] == '-') {
+				l.pos++
+			}
+		default:
+			goto done
+		}
+	}
+done:
+	l.tokens = append(l.tokens, token{kind: tokNumber, text: l.src[start:l.pos], pos: start})
+}
+
+func (l *lexer) str() error {
+	start := l.pos
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+				b.WriteByte('\'') // escaped quote
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			l.tokens = append(l.tokens, token{kind: tokString, text: b.String(), pos: start})
+			return nil
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return fmt.Errorf("reldb: unterminated string literal at offset %d", start)
+}
+
+func (l *lexer) quotedIdent() error {
+	start := l.pos
+	l.pos++
+	end := strings.IndexByte(l.src[l.pos:], '"')
+	if end < 0 {
+		return fmt.Errorf("reldb: unterminated quoted identifier at offset %d", start)
+	}
+	l.tokens = append(l.tokens, token{kind: tokIdent, text: l.src[l.pos : l.pos+end], pos: start})
+	l.pos += end + 1
+	return nil
+}
+
+func (l *lexer) symbol() error {
+	two := ""
+	if l.pos+1 < len(l.src) {
+		two = l.src[l.pos : l.pos+2]
+	}
+	switch two {
+	case "!=", "<>", "<=", ">=", "||":
+		l.tokens = append(l.tokens, token{kind: tokSymbol, text: two, pos: l.pos})
+		l.pos += 2
+		return nil
+	}
+	c := l.src[l.pos]
+	switch c {
+	case '(', ')', ',', '.', '*', '=', '<', '>', '+', '-', '/', ';':
+		l.tokens = append(l.tokens, token{kind: tokSymbol, text: string(c), pos: l.pos})
+		l.pos++
+		return nil
+	}
+	return fmt.Errorf("reldb: unexpected character %q at offset %d", c, l.pos)
+}

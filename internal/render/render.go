@@ -1,0 +1,284 @@
+// Package render regenerates the paper's figures without ArcGIS: an SVG
+// map renderer (equirectangular projection) for nodes, conduits, cables,
+// Thiessen cells and buffers, plus a GeoJSON exporter so any external GIS
+// can consume iGDB layers.
+package render
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"igdb/internal/geo"
+	"igdb/internal/wkt"
+)
+
+// Style controls how a map element is drawn.
+type Style struct {
+	Stroke      string
+	StrokeWidth float64
+	Fill        string
+	Opacity     float64
+	Radius      float64 // circles only, px
+	Dash        string  // SVG stroke-dasharray, "" = solid
+}
+
+func (s Style) attrs() string {
+	var b strings.Builder
+	if s.Stroke != "" {
+		fmt.Fprintf(&b, ` stroke="%s"`, s.Stroke)
+	}
+	if s.StrokeWidth > 0 {
+		fmt.Fprintf(&b, ` stroke-width="%.2f"`, s.StrokeWidth)
+	}
+	if s.Fill != "" {
+		fmt.Fprintf(&b, ` fill="%s"`, s.Fill)
+	} else {
+		b.WriteString(` fill="none"`)
+	}
+	if s.Opacity > 0 && s.Opacity < 1 {
+		fmt.Fprintf(&b, ` opacity="%.2f"`, s.Opacity)
+	}
+	if s.Dash != "" {
+		fmt.Fprintf(&b, ` stroke-dasharray="%s"`, s.Dash)
+	}
+	return b.String()
+}
+
+// Map accumulates drawable layers over a geographic bounding box.
+type Map struct {
+	W, H     int
+	Box      geo.BBox
+	elements []string
+	title    string
+}
+
+// NewWorldMap creates a whole-Earth canvas.
+func NewWorldMap(w, h int) *Map {
+	return NewMap(geo.BBox{MinLon: -180, MinLat: -90, MaxLon: 180, MaxLat: 90}, w, h)
+}
+
+// NewMap creates a canvas over the given region.
+func NewMap(box geo.BBox, w, h int) *Map {
+	return &Map{W: w, H: h, Box: box}
+}
+
+// SetTitle adds a caption in the top-left corner.
+func (m *Map) SetTitle(t string) { m.title = t }
+
+// project maps lon/lat to pixel coordinates (equirectangular; y grows down).
+func (m *Map) project(p geo.Point) (x, y float64) {
+	x = (p.Lon - m.Box.MinLon) / (m.Box.MaxLon - m.Box.MinLon) * float64(m.W)
+	y = (m.Box.MaxLat - p.Lat) / (m.Box.MaxLat - m.Box.MinLat) * float64(m.H)
+	return x, y
+}
+
+// Polyline draws a line path.
+func (m *Map) Polyline(pts []geo.Point, st Style) {
+	if len(pts) < 2 {
+		return
+	}
+	var b strings.Builder
+	b.WriteString(`<polyline points="`)
+	for i, p := range pts {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		x, y := m.project(p)
+		fmt.Fprintf(&b, "%.1f,%.1f", x, y)
+	}
+	b.WriteString(`"`)
+	b.WriteString(st.attrs())
+	b.WriteString("/>")
+	m.elements = append(m.elements, b.String())
+}
+
+// Polygon draws a closed ring.
+func (m *Map) Polygon(ring []geo.Point, st Style) {
+	if len(ring) < 3 {
+		return
+	}
+	var b strings.Builder
+	b.WriteString(`<polygon points="`)
+	for i, p := range ring {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		x, y := m.project(p)
+		fmt.Fprintf(&b, "%.1f,%.1f", x, y)
+	}
+	b.WriteString(`"`)
+	b.WriteString(st.attrs())
+	b.WriteString("/>")
+	m.elements = append(m.elements, b.String())
+}
+
+// Circle draws a fixed-pixel-radius marker at a location.
+func (m *Map) Circle(p geo.Point, st Style) {
+	x, y := m.project(p)
+	r := st.Radius
+	if r <= 0 {
+		r = 2
+	}
+	m.elements = append(m.elements,
+		fmt.Sprintf(`<circle cx="%.1f" cy="%.1f" r="%.1f"%s/>`, x, y, r, st.attrs()))
+}
+
+// Text places a label at a location.
+func (m *Map) Text(p geo.Point, label string, size int) {
+	x, y := m.project(p)
+	if size <= 0 {
+		size = 10
+	}
+	m.elements = append(m.elements,
+		fmt.Sprintf(`<text x="%.1f" y="%.1f" font-size="%d" font-family="sans-serif">%s</text>`,
+			x, y, size, escape(label)))
+}
+
+// Geometry draws any WKT geometry with one style.
+func (m *Map) Geometry(g wkt.Geometry, st Style) {
+	switch g.Kind {
+	case wkt.KindPoint:
+		if !g.Empty {
+			m.Circle(g.Point, st)
+		}
+	case wkt.KindLineString:
+		m.Polyline(g.Line, st)
+	case wkt.KindPolygon:
+		if len(g.Rings) > 0 {
+			m.Polygon(g.Rings[0], st)
+		}
+	case wkt.KindMultiPoint:
+		for _, p := range g.Points {
+			m.Circle(p, st)
+		}
+	case wkt.KindMultiLineString:
+		for _, l := range g.Lines {
+			m.Polyline(l, st)
+		}
+	case wkt.KindMultiPolygon:
+		for _, poly := range g.Polygons {
+			if len(poly) > 0 {
+				m.Polygon(poly[0], st)
+			}
+		}
+	case wkt.KindGeometryCollection:
+		for _, sub := range g.Geoms {
+			m.Geometry(sub, st)
+		}
+	}
+}
+
+// ElementCount returns how many drawables have been added (for tests).
+func (m *Map) ElementCount() int { return len(m.elements) }
+
+func escape(s string) string {
+	s = strings.ReplaceAll(s, "&", "&amp;")
+	s = strings.ReplaceAll(s, "<", "&lt;")
+	s = strings.ReplaceAll(s, ">", "&gt;")
+	return s
+}
+
+// SVG renders the accumulated layers.
+func (m *Map) SVG() []byte {
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`,
+		m.W, m.H, m.W, m.H)
+	b.WriteString(`<rect width="100%" height="100%" fill="#ffffff"/>`)
+	for _, e := range m.elements {
+		b.WriteString(e)
+	}
+	if m.title != "" {
+		fmt.Fprintf(&b, `<text x="8" y="18" font-size="14" font-family="sans-serif">%s</text>`, escape(m.title))
+	}
+	b.WriteString(`</svg>`)
+	return []byte(b.String())
+}
+
+// ---- GeoJSON ----
+
+// FeatureCollection builds a GeoJSON document from WKT geometries.
+type FeatureCollection struct {
+	features []feature
+}
+
+type feature struct {
+	Type       string                 `json:"type"`
+	Geometry   json.RawMessage        `json:"geometry"`
+	Properties map[string]interface{} `json:"properties"`
+}
+
+// Add appends a feature; properties may be nil.
+func (fc *FeatureCollection) Add(g wkt.Geometry, props map[string]interface{}) error {
+	gj, err := geometryJSON(g)
+	if err != nil {
+		return err
+	}
+	if props == nil {
+		props = map[string]interface{}{}
+	}
+	fc.features = append(fc.features, feature{Type: "Feature", Geometry: gj, Properties: props})
+	return nil
+}
+
+// Len returns the number of features.
+func (fc *FeatureCollection) Len() int { return len(fc.features) }
+
+// Marshal renders the document.
+func (fc *FeatureCollection) Marshal() ([]byte, error) {
+	doc := struct {
+		Type     string    `json:"type"`
+		Features []feature `json:"features"`
+	}{Type: "FeatureCollection", Features: fc.features}
+	if doc.Features == nil {
+		doc.Features = []feature{}
+	}
+	return json.Marshal(doc)
+}
+
+func coord(p geo.Point) []float64 { return []float64{p.Lon, p.Lat} }
+
+func coords(pts []geo.Point) [][]float64 {
+	out := make([][]float64, len(pts))
+	for i, p := range pts {
+		out[i] = coord(p)
+	}
+	return out
+}
+
+func geometryJSON(g wkt.Geometry) (json.RawMessage, error) {
+	var obj interface{}
+	switch g.Kind {
+	case wkt.KindPoint:
+		obj = map[string]interface{}{"type": "Point", "coordinates": coord(g.Point)}
+	case wkt.KindLineString:
+		obj = map[string]interface{}{"type": "LineString", "coordinates": coords(g.Line)}
+	case wkt.KindPolygon:
+		rings := make([][][]float64, len(g.Rings))
+		for i, r := range g.Rings {
+			rings[i] = coords(r)
+		}
+		obj = map[string]interface{}{"type": "Polygon", "coordinates": rings}
+	case wkt.KindMultiPoint:
+		obj = map[string]interface{}{"type": "MultiPoint", "coordinates": coords(g.Points)}
+	case wkt.KindMultiLineString:
+		lines := make([][][]float64, len(g.Lines))
+		for i, l := range g.Lines {
+			lines[i] = coords(l)
+		}
+		obj = map[string]interface{}{"type": "MultiLineString", "coordinates": lines}
+	case wkt.KindMultiPolygon:
+		polys := make([][][][]float64, len(g.Polygons))
+		for i, poly := range g.Polygons {
+			rings := make([][][]float64, len(poly))
+			for j, r := range poly {
+				rings[j] = coords(r)
+			}
+			polys[i] = rings
+		}
+		obj = map[string]interface{}{"type": "MultiPolygon", "coordinates": polys}
+	default:
+		return nil, fmt.Errorf("render: unsupported GeoJSON geometry %s", g.Kind)
+	}
+	return json.Marshal(obj)
+}

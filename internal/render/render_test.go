@@ -1,0 +1,129 @@
+package render
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"igdb/internal/geo"
+	"igdb/internal/wkt"
+)
+
+func TestSVGBasics(t *testing.T) {
+	m := NewWorldMap(720, 360)
+	m.SetTitle("Test & Map")
+	m.Polyline([]geo.Point{{Lon: -90, Lat: 0}, {Lon: 90, Lat: 0}}, Style{Stroke: "green", StrokeWidth: 1})
+	m.Circle(geo.Point{Lon: 0, Lat: 0}, Style{Fill: "orange", Radius: 3})
+	m.Polygon([]geo.Point{{Lon: 0, Lat: 0}, {Lon: 10, Lat: 0}, {Lon: 10, Lat: 10}}, Style{Fill: "blue", Opacity: 0.5})
+	m.Text(geo.Point{Lon: 0, Lat: 50}, "<label>", 12)
+	svg := string(m.SVG())
+	for _, want := range []string{"<svg", "polyline", "circle", "polygon", "&lt;label&gt;", "Test &amp; Map", "</svg>"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if m.ElementCount() != 4 {
+		t.Errorf("elements = %d, want 4", m.ElementCount())
+	}
+}
+
+func TestProjectionOrientation(t *testing.T) {
+	m := NewWorldMap(360, 180)
+	// North pole maps to y=0, antimeridian west edge to x=0.
+	x, y := m.project(geo.Point{Lon: -180, Lat: 90})
+	if x != 0 || y != 0 {
+		t.Errorf("NW corner at (%v, %v)", x, y)
+	}
+	x, y = m.project(geo.Point{Lon: 180, Lat: -90})
+	if x != 360 || y != 180 {
+		t.Errorf("SE corner at (%v, %v)", x, y)
+	}
+}
+
+func TestDegenerateElementsIgnored(t *testing.T) {
+	m := NewWorldMap(100, 50)
+	m.Polyline([]geo.Point{{Lon: 0, Lat: 0}}, Style{})
+	m.Polygon([]geo.Point{{Lon: 0, Lat: 0}, {Lon: 1, Lat: 1}}, Style{})
+	if m.ElementCount() != 0 {
+		t.Error("degenerate shapes should be skipped")
+	}
+}
+
+func TestGeometryDispatch(t *testing.T) {
+	m := NewWorldMap(100, 50)
+	for _, s := range []string{
+		"POINT (1 2)",
+		"LINESTRING (0 0, 1 1)",
+		"POLYGON ((0 0, 5 0, 5 5, 0 0))",
+		"MULTIPOINT (1 1, 2 2)",
+		"MULTILINESTRING ((0 0, 1 1), (2 2, 3 3))",
+		"MULTIPOLYGON (((0 0, 1 0, 1 1, 0 0)))",
+		"GEOMETRYCOLLECTION (POINT (0 0), LINESTRING (1 1, 2 2))",
+	} {
+		m.Geometry(wkt.MustParse(s), Style{Stroke: "black"})
+	}
+	if m.ElementCount() != 10 {
+		t.Errorf("elements = %d, want 10", m.ElementCount())
+	}
+}
+
+func TestGeoJSON(t *testing.T) {
+	var fc FeatureCollection
+	if err := fc.Add(wkt.MustParse("POINT (1 2)"), map[string]interface{}{"name": "x"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := fc.Add(wkt.MustParse("LINESTRING (0 0, 1 1)"), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := fc.Add(wkt.MustParse("POLYGON ((0 0, 1 0, 1 1, 0 0))"), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := fc.Add(wkt.MustParse("MULTIPOLYGON (((0 0, 1 0, 1 1, 0 0)))"), nil); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := fc.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Type     string `json:"type"`
+		Features []struct {
+			Type     string `json:"type"`
+			Geometry struct {
+				Type string `json:"type"`
+			} `json:"geometry"`
+			Properties map[string]interface{} `json:"properties"`
+		} `json:"features"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Type != "FeatureCollection" || len(doc.Features) != 4 {
+		t.Fatalf("doc = %+v", doc)
+	}
+	if doc.Features[0].Geometry.Type != "Point" || doc.Features[0].Properties["name"] != "x" {
+		t.Errorf("first feature wrong: %+v", doc.Features[0])
+	}
+	if doc.Features[3].Geometry.Type != "MultiPolygon" {
+		t.Errorf("fourth feature type = %s", doc.Features[3].Geometry.Type)
+	}
+}
+
+func TestGeoJSONEmptyCollection(t *testing.T) {
+	var fc FeatureCollection
+	raw, err := fc.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `"features":[]`) {
+		t.Errorf("empty collection renders %s", raw)
+	}
+}
+
+func TestGeoJSONRejectsEmptyGeometry(t *testing.T) {
+	var fc FeatureCollection
+	g := wkt.Geometry{Kind: wkt.Kind(99)}
+	if err := fc.Add(g, nil); err == nil {
+		t.Error("unsupported kind should fail")
+	}
+}

@@ -1,0 +1,214 @@
+// Package risk implements the environmental-risk analysis the paper calls
+// out as a primary application of iGDB (§4.2/§4.3, after RiskRoute
+// [Eriksson et al.]): given a hazard region, identify the physical
+// infrastructure inside it — inferred long-haul conduits, submarine cables,
+// metros and physical nodes — and the autonomous systems whose peering
+// footprint depends on it.
+package risk
+
+import (
+	"sort"
+
+	"igdb/internal/core"
+	"igdb/internal/geo"
+	"igdb/internal/geom"
+	"igdb/internal/wkt"
+)
+
+// Hazard is a circular threat region (hurricane cone, seismic zone,
+// wildfire perimeter).
+type Hazard struct {
+	Name     string
+	Center   geo.Point
+	RadiusKm float64
+}
+
+// Contains reports whether a point lies inside the hazard.
+func (h Hazard) Contains(p geo.Point) bool {
+	return geo.Haversine(h.Center, p) <= h.RadiusKm
+}
+
+// crossesLine reports whether any part of a polyline enters the hazard.
+func (h Hazard) crossesLine(line []geo.Point) bool {
+	d, _ := geom.DistanceToPolylineKm(h.Center, line)
+	return d <= h.RadiusKm
+}
+
+// PathAtRisk is one inferred conduit crossing the hazard.
+type PathAtRisk struct {
+	FromMetro, ToMetro string
+	DistanceKm         float64
+}
+
+// CableAtRisk is one submarine cable crossing the hazard.
+type CableAtRisk struct {
+	Name     string
+	LengthKm float64
+}
+
+// Report is the outcome of a hazard assessment.
+type Report struct {
+	Hazard       Hazard
+	Metros       []string     // standard metros inside the region
+	NodeCount    int          // physical nodes inside the region
+	Paths        []PathAtRisk // inferred conduits crossing it
+	Cables       []CableAtRisk
+	AffectedASNs []int // ASes with peering presence in an affected metro
+}
+
+// Assess runs the full spatial analysis against a built database.
+func Assess(g *core.IGDB, h Hazard) (*Report, error) {
+	rep := &Report{Hazard: h}
+
+	// Metros inside the hazard.
+	metroSet := map[string]bool{}
+	affectedCityKeys := map[string]bool{}
+	for _, c := range g.Cities {
+		if h.Contains(c.Loc) {
+			rep.Metros = append(rep.Metros, c.Metro())
+			metroSet[c.Metro()] = true
+			affectedCityKeys[c.Key()] = true
+		}
+	}
+	sort.Strings(rep.Metros)
+
+	// Physical nodes inside the hazard (by exact coordinates, not metro:
+	// a node can sit inside the region while its standard city is outside).
+	rows, err := g.Rel.Query(`SELECT longitude, latitude FROM phys_nodes`)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rows.Rows {
+		lon, _ := r[0].AsFloat()
+		lat, _ := r[1].AsFloat()
+		if h.Contains(geo.Point{Lon: lon, Lat: lat}) {
+			rep.NodeCount++
+		}
+	}
+
+	// Conduits crossing the hazard.
+	rows, err = g.Rel.Query(`SELECT from_metro, from_country, to_metro, to_country,
+		distance_km, path_wkt FROM std_paths`)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rows.Rows {
+		s, _ := r[5].AsText()
+		gw, err := wkt.Parse(s)
+		if err != nil || gw.Kind != wkt.KindLineString {
+			continue
+		}
+		if !h.crossesLine(gw.Line) {
+			continue
+		}
+		fm, _ := r[0].AsText()
+		fc, _ := r[1].AsText()
+		tm, _ := r[2].AsText()
+		tc, _ := r[3].AsText()
+		km, _ := r[4].AsFloat()
+		rep.Paths = append(rep.Paths, PathAtRisk{
+			FromMetro: fm + "-" + fc, ToMetro: tm + "-" + tc, DistanceKm: km,
+		})
+	}
+
+	// Submarine cables crossing the hazard.
+	rows, err = g.Rel.Query(`SELECT cable_name, length_km, cable_wkt FROM sub_cables`)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rows.Rows {
+		s, _ := r[2].AsText()
+		gw, err := wkt.Parse(s)
+		if err != nil || gw.Kind != wkt.KindLineString {
+			continue
+		}
+		if !h.crossesLine(gw.Line) {
+			continue
+		}
+		name, _ := r[0].AsText()
+		km, _ := r[1].AsFloat()
+		rep.Cables = append(rep.Cables, CableAtRisk{Name: name, LengthKm: km})
+	}
+
+	// ASes whose declared footprint touches an affected metro.
+	rows, err = g.Rel.Query(`SELECT DISTINCT asn, metro, country FROM asn_loc`)
+	if err != nil {
+		return nil, err
+	}
+	asnSet := map[int]bool{}
+	for _, r := range rows.Rows {
+		m, _ := r[1].AsText()
+		c, _ := r[2].AsText()
+		if !metroSet[m+"-"+c] {
+			continue
+		}
+		asn64, _ := r[0].AsInt()
+		asnSet[int(asn64)] = true
+	}
+	for asn := range asnSet {
+		rep.AffectedASNs = append(rep.AffectedASNs, asn)
+	}
+	sort.Ints(rep.AffectedASNs)
+	return rep, nil
+}
+
+// DetourCost quantifies resilience: for every conduit crossing the hazard,
+// the factor by which the shortest surviving alternative (over the path
+// network with hazard-crossing edges removed) is longer. Infinite when no
+// alternative exists (partition). Returns per-path factors aligned with
+// Report.Paths ordering; factor 0 means the endpoints were unresolvable.
+func DetourCost(g *core.IGDB, h Hazard, rep *Report) []float64 {
+	// Identify hazard-crossing edges once.
+	type edge struct{ a, b int }
+	blocked := map[edge]bool{}
+	for _, p := range rep.Paths {
+		a := g.MetroIndex(p.FromMetro)
+		b := g.MetroIndex(p.ToMetro)
+		if a < 0 || b < 0 {
+			continue
+		}
+		if a > b {
+			a, b = b, a
+		}
+		blocked[edge{a, b}] = true
+	}
+	out := make([]float64, len(rep.Paths))
+	for i, p := range rep.Paths {
+		a := g.MetroIndex(p.FromMetro)
+		b := g.MetroIndex(p.ToMetro)
+		if a < 0 || b < 0 {
+			continue
+		}
+		// k-shortest alternatives, skipping any that use blocked edges.
+		found := false
+		for _, route := range g.Paths.KShortestRoutes(a, b, 4) {
+			usesBlocked := false
+			for j := 1; j < len(route); j++ {
+				x, y := route[j-1], route[j]
+				if x > y {
+					x, y = y, x
+				}
+				if blocked[edge{x, y}] {
+					usesBlocked = true
+					break
+				}
+			}
+			if usesBlocked {
+				continue
+			}
+			var km float64
+			for j := 1; j < len(route); j++ {
+				km += geo.Haversine(g.Cities[route[j-1]].Loc, g.Cities[route[j]].Loc)
+			}
+			if p.DistanceKm > 0 {
+				out[i] = km / p.DistanceKm
+			}
+			found = true
+			break
+		}
+		if !found {
+			out[i] = -1 // partitioned: no surviving alternative among k=4
+		}
+	}
+	return out
+}

@@ -1,0 +1,148 @@
+package risk
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"igdb/internal/core"
+	"igdb/internal/geo"
+	"igdb/internal/ingest"
+	"igdb/internal/worldgen"
+)
+
+var (
+	once sync.Once
+	gdb  *core.IGDB
+	w    *worldgen.World
+)
+
+func db(t *testing.T) (*worldgen.World, *core.IGDB) {
+	t.Helper()
+	once.Do(func() {
+		w = worldgen.Generate(worldgen.SmallConfig())
+		store := ingest.NewStore("")
+		if err := ingest.Collect(w, store, time.Date(2026, 7, 1, 0, 0, 0, 0, time.UTC)); err != nil {
+			panic(err)
+		}
+		var err error
+		gdb, err = core.Build(store, core.BuildOptions{SkipPolygons: true})
+		if err != nil {
+			panic(err)
+		}
+	})
+	return w, gdb
+}
+
+// gulfHazard covers the US Gulf coast around Houston/New Orleans — the
+// canonical hurricane scenario RiskRoute studies.
+func gulfHazard() Hazard {
+	return Hazard{Name: "Gulf hurricane", Center: geo.Point{Lon: -92.5, Lat: 29.8}, RadiusKm: 450}
+}
+
+func TestAssessFindsGulfInfrastructure(t *testing.T) {
+	_, g := db(t)
+	rep, err := Assess(g, gulfHazard())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Houston and New Orleans are inside the region.
+	want := map[string]bool{"Houston-US": false, "New Orleans-US": false}
+	for _, m := range rep.Metros {
+		if _, ok := want[m]; ok {
+			want[m] = true
+		}
+	}
+	for m, seen := range want {
+		if !seen {
+			t.Errorf("hazard should cover %s; metros: %v", m, rep.Metros)
+		}
+	}
+	if rep.NodeCount == 0 {
+		t.Error("no physical nodes at risk in the Gulf")
+	}
+	if len(rep.Paths) == 0 {
+		t.Error("no conduits cross the hazard (Houston-Atlanta corridor should)")
+	}
+	if len(rep.AffectedASNs) == 0 {
+		t.Error("no ASes affected despite Houston peering presence")
+	}
+	// Cogent peers in Houston (Figure 7 corridor), so AS174 is affected.
+	saw174 := false
+	for _, asn := range rep.AffectedASNs {
+		if asn == 174 {
+			saw174 = true
+		}
+	}
+	if !saw174 {
+		t.Errorf("AS174 should be affected; got %d ASNs", len(rep.AffectedASNs))
+	}
+}
+
+func TestAssessEmptyOcean(t *testing.T) {
+	_, g := db(t)
+	// Middle of the South Pacific: no terrestrial infrastructure.
+	rep, err := Assess(g, Hazard{Name: "empty", Center: geo.Point{Lon: -120, Lat: -45}, RadiusKm: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Metros) != 0 || rep.NodeCount != 0 || len(rep.Paths) != 0 {
+		t.Errorf("open-ocean hazard found infrastructure: %+v", rep)
+	}
+}
+
+func TestCablesAtRisk(t *testing.T) {
+	w, g := db(t)
+	// Center a hazard on an actual cable midpoint to guarantee a crossing.
+	if len(w.Cables) == 0 {
+		t.Skip("no cables")
+	}
+	c := w.Cables[0]
+	mid := c.Path[len(c.Path)/2]
+	rep, err := Assess(g, Hazard{Name: "cable cut", Center: mid, RadiusKm: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cables) == 0 {
+		t.Error("hazard centered on a cable found no cables")
+	}
+}
+
+func TestDetourCost(t *testing.T) {
+	_, g := db(t)
+	rep, err := Assess(g, gulfHazard())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Paths) == 0 {
+		t.Skip("no at-risk paths")
+	}
+	factors := DetourCost(g, gulfHazard(), rep)
+	if len(factors) != len(rep.Paths) {
+		t.Fatalf("factors = %d, paths = %d", len(factors), len(rep.Paths))
+	}
+	positive := 0
+	for _, f := range factors {
+		if f > 0 {
+			positive++
+			// A surviving detour avoiding the direct conduit shouldn't be
+			// absurdly long at small scale.
+			if f > 50 {
+				t.Errorf("implausible detour factor %.1f", f)
+			}
+		}
+	}
+	if positive == 0 {
+		t.Error("no path has any surviving alternative — graph implausibly sparse")
+	}
+}
+
+func TestHazardContains(t *testing.T) {
+	h := Hazard{Center: geo.Point{Lon: 0, Lat: 0}, RadiusKm: 100}
+	if !h.Contains(geo.Point{Lon: 0.5, Lat: 0}) {
+		t.Error("55 km should be inside")
+	}
+	if h.Contains(geo.Point{Lon: 2, Lat: 0}) {
+		t.Error("222 km should be outside")
+	}
+}

@@ -1,0 +1,109 @@
+// Package asrank emulates the CAIDA AS Rank API output: AS metadata
+// (WHOIS-derived names and organizations) as JSON lines, plus the AS-level
+// adjacency graph in CAIDA's "A|B|rel" serialization (rel: -1 provider→
+// customer, 0 peer) aggregated from RouteViews/RIPE RIS announcements.
+package asrank
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"igdb/internal/worldgen"
+)
+
+// ASInfo is one AS metadata record.
+type ASInfo struct {
+	ASN     int    `json:"asn"`
+	ASNName string `json:"asnName"`
+	OrgName string `json:"orgName"`
+	Country string `json:"country"`
+}
+
+// Link is one AS adjacency.
+type Link struct {
+	A, B int
+	Rel  int // -1: A is provider of B; 0: peers
+}
+
+// Dump is a full AS Rank snapshot.
+type Dump struct {
+	ASNsJSONL []byte
+	LinksTxt  []byte
+}
+
+// Export renders the AS Rank view: every AS (BGP sees all of them), with
+// WHOIS naming.
+func Export(w *worldgen.World) (*Dump, error) {
+	var asns bytes.Buffer
+	enc := json.NewEncoder(&asns)
+	for _, as := range w.ASes {
+		rec := ASInfo{
+			ASN:     as.ASN,
+			ASNName: as.NamesBySource["asrank"],
+			OrgName: as.OrgsBySource["asrank"],
+			Country: as.HomeCountry,
+		}
+		if err := enc.Encode(rec); err != nil {
+			return nil, err
+		}
+	}
+	var links bytes.Buffer
+	fmt.Fprintln(&links, "# A|B|rel  (-1 provider-customer, 0 peer)")
+	for _, l := range w.ASLinks {
+		rel := 0
+		if l.Kind == "p2c" {
+			rel = -1
+		}
+		fmt.Fprintf(&links, "%d|%d|%d\n", l.A, l.B, rel)
+	}
+	return &Dump{ASNsJSONL: asns.Bytes(), LinksTxt: links.Bytes()}, nil
+}
+
+// Parse reads a snapshot back.
+func Parse(d *Dump) ([]ASInfo, []Link, error) {
+	var infos []ASInfo
+	sc := bufio.NewScanner(bytes.NewReader(d.ASNsJSONL))
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+			continue
+		}
+		var rec ASInfo
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return nil, nil, fmt.Errorf("asrank: asns line %d: %w", lineNo, err)
+		}
+		infos = append(infos, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	var links []Link
+	lsc := bufio.NewScanner(bytes.NewReader(d.LinksTxt))
+	lsc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	lineNo = 0
+	for lsc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(lsc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.Split(line, "|")
+		if len(parts) != 3 {
+			return nil, nil, fmt.Errorf("asrank: links line %d has %d fields", lineNo, len(parts))
+		}
+		a, err1 := strconv.Atoi(parts[0])
+		b, err2 := strconv.Atoi(parts[1])
+		rel, err3 := strconv.Atoi(parts[2])
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, nil, fmt.Errorf("asrank: links line %d malformed", lineNo)
+		}
+		links = append(links, Link{A: a, B: b, Rel: rel})
+	}
+	return infos, links, lsc.Err()
+}

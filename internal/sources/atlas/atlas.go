@@ -1,0 +1,151 @@
+// Package atlas emulates the Internet Atlas dataset [Durairajan et al.]:
+// PoP-level physical nodes and node-to-node connectivity for ~1.5K networks,
+// published as CSV. Exact conduit geometry is withheld (as in reality, for
+// security reasons) — only the fact that two PoPs are connected is exported,
+// which is precisely why iGDB must infer right-of-way paths.
+//
+// Export introduces the source's characteristic noise: decorated node
+// names, inconsistent city capitalization and a small coordinate jitter, so
+// the consumer is forced to standardize locations spatially rather than
+// trust labels.
+package atlas
+
+import (
+	"bytes"
+	"encoding/csv"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"igdb/internal/geo"
+	"igdb/internal/worldgen"
+)
+
+// Node is one physical PoP record.
+type Node struct {
+	Network  string
+	NodeName string
+	City     string
+	State    string
+	Country  string
+	Lat, Lon float64
+}
+
+// Link is one PoP-to-PoP adjacency (no geometry).
+type Link struct {
+	Network  string
+	FromNode string
+	ToNode   string
+}
+
+// Dataset is a serialized Internet Atlas snapshot.
+type Dataset struct {
+	NodesCSV []byte
+	LinksCSV []byte
+}
+
+// Export renders the Atlas view of the world: nodes and links for ISPs with
+// InAtlas set (only the declared PoPs — hidden PoPs never appear here).
+func Export(w *worldgen.World) *Dataset {
+	r := rand.New(rand.NewSource(w.Cfg.Seed + 101))
+	var nodes bytes.Buffer
+	var links bytes.Buffer
+	nw := csv.NewWriter(&nodes)
+	lw := csv.NewWriter(&links)
+	_ = nw.Write([]string{"network", "node_name", "city", "state", "country", "latitude", "longitude"})
+	_ = lw.Write([]string{"network", "from_node", "to_node"})
+
+	for _, isp := range w.ISPs {
+		if !isp.InAtlas {
+			continue
+		}
+		declared := map[int]bool{}
+		nodeName := map[int]string{}
+		for i, cityID := range isp.DeclaredPOPs() {
+			declared[cityID] = true
+			c := w.Cities[cityID]
+			name := fmt.Sprintf("%s - %s %02d", isp.Name, decorateCity(r, c.Name), 1+i%3)
+			nodeName[cityID] = name
+			// Jitter within ~10 km: Atlas coordinates come from published
+			// maps, not GPS.
+			loc := jitter(r, c.Loc, 10)
+			_ = nw.Write([]string{
+				isp.Name, name, decorateCity(r, c.Name), c.State, c.Country,
+				strconv.FormatFloat(loc.Lat, 'f', 4, 64),
+				strconv.FormatFloat(loc.Lon, 'f', 4, 64),
+			})
+		}
+		for _, l := range isp.Links {
+			if !declared[l[0]] || !declared[l[1]] {
+				continue // links touching undeclared PoPs stay private
+			}
+			_ = lw.Write([]string{isp.Name, nodeName[l[0]], nodeName[l[1]]})
+		}
+	}
+	nw.Flush()
+	lw.Flush()
+	return &Dataset{NodesCSV: nodes.Bytes(), LinksCSV: links.Bytes()}
+}
+
+// decorateCity applies the inconsistent labeling real crowd-sourced data
+// shows; spatial standardization must undo this.
+func decorateCity(r *rand.Rand, name string) string {
+	switch r.Intn(5) {
+	case 0:
+		return strings.ToUpper(name)
+	case 1:
+		return strings.ToLower(name)
+	case 2:
+		return name + " Metro"
+	default:
+		return name
+	}
+}
+
+func jitter(r *rand.Rand, p geo.Point, km float64) geo.Point {
+	return geo.Destination(p, r.Float64()*360, r.Float64()*km)
+}
+
+// Parse reads a serialized snapshot back into records.
+func Parse(d *Dataset) ([]Node, []Link, error) {
+	nr := csv.NewReader(bytes.NewReader(d.NodesCSV))
+	rows, err := nr.ReadAll()
+	if err != nil {
+		return nil, nil, fmt.Errorf("atlas: nodes: %w", err)
+	}
+	var nodes []Node
+	for i, row := range rows {
+		if i == 0 {
+			continue // header
+		}
+		if len(row) != 7 {
+			return nil, nil, fmt.Errorf("atlas: nodes row %d has %d fields", i, len(row))
+		}
+		lat, err1 := strconv.ParseFloat(row[5], 64)
+		lon, err2 := strconv.ParseFloat(row[6], 64)
+		if err1 != nil || err2 != nil {
+			return nil, nil, fmt.Errorf("atlas: nodes row %d has bad coordinates", i)
+		}
+		nodes = append(nodes, Node{
+			Network: row[0], NodeName: row[1], City: row[2], State: row[3],
+			Country: row[4], Lat: lat, Lon: lon,
+		})
+	}
+	lr := csv.NewReader(bytes.NewReader(d.LinksCSV))
+	lrows, err := lr.ReadAll()
+	if err != nil {
+		return nil, nil, fmt.Errorf("atlas: links: %w", err)
+	}
+	var links []Link
+	for i, row := range lrows {
+		if i == 0 {
+			continue
+		}
+		if len(row) != 3 {
+			return nil, nil, fmt.Errorf("atlas: links row %d has %d fields", i, len(row))
+		}
+		links = append(links, Link{Network: row[0], FromNode: row[1], ToNode: row[2]})
+	}
+	return nodes, links, nil
+}

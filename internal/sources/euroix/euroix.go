@@ -1,0 +1,55 @@
+// Package euroix emulates the EuroIX IXP database: JSON records collected
+// directly from European exchanges via an automated feed — the most
+// reliable of the three IXP sources, but limited to Europe.
+package euroix
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"igdb/internal/worldgen"
+)
+
+// IXP is one exchange record from the EuroIX feed.
+type IXP struct {
+	Name     string `json:"name"`
+	City     string `json:"city"`
+	Country  string `json:"country"`
+	PrefixV4 string `json:"prefix_v4"`
+	Members  []int  `json:"member_asns"`
+}
+
+// Dump is a full EuroIX snapshot.
+type Dump struct {
+	IXPs []IXP `json:"ixps"`
+}
+
+// Export renders the European subset. The automated feed is complete: all
+// members present, unlike PCH/HE.
+func Export(w *worldgen.World) *Dump {
+	d := &Dump{}
+	for _, ix := range w.IXPs {
+		if !ix.Euro {
+			continue
+		}
+		c := w.Cities[ix.City]
+		rec := IXP{Name: ix.Name, City: c.Name, Country: c.Country, PrefixV4: ix.Prefix.String()}
+		for _, m := range ix.Members {
+			rec.Members = append(rec.Members, m.ASN)
+		}
+		d.IXPs = append(d.IXPs, rec)
+	}
+	return d
+}
+
+// Marshal serializes the dump as JSON.
+func Marshal(d *Dump) ([]byte, error) { return json.Marshal(d) }
+
+// Parse reads a JSON snapshot.
+func Parse(data []byte) (*Dump, error) {
+	var d Dump
+	if err := json.Unmarshal(data, &d); err != nil {
+		return nil, fmt.Errorf("euroix: %w", err)
+	}
+	return &d, nil
+}

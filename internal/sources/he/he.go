@@ -1,0 +1,82 @@
+// Package he emulates the Hurricane Electric Internet Exchange Report: a
+// per-exchange participant listing scraped from bgp.he.net. Like PCH it has
+// no coordinates, and its member view differs slightly from the other two
+// IXP sources — cross-checking the three is an iGDB design point.
+package he
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"igdb/internal/worldgen"
+)
+
+// Exchange is one IXP as reported by HE.
+type Exchange struct {
+	Name    string
+	City    string
+	Country string
+	ASNs    []int
+}
+
+// Export renders the HE exchange report.
+func Export(w *worldgen.World) []byte {
+	var b bytes.Buffer
+	fmt.Fprintln(&b, "# Hurricane Electric Internet Exchange Report")
+	for _, ix := range w.IXPs {
+		c := w.Cities[ix.City]
+		fmt.Fprintf(&b, "IX: %s (%s, %s)\n", ix.Name, c.Name, c.Country)
+		for i, m := range ix.Members {
+			// HE misses a different slice than PCH: every 9th member.
+			if i%9 == 8 {
+				continue
+			}
+			fmt.Fprintf(&b, "  AS%d\n", m.ASN)
+		}
+	}
+	return b.Bytes()
+}
+
+// Parse reads the report back.
+func Parse(data []byte) ([]Exchange, error) {
+	var out []Exchange
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		switch {
+		case line == "" || strings.HasPrefix(line, "#"):
+		case strings.HasPrefix(line, "IX: "):
+			rest := strings.TrimPrefix(line, "IX: ")
+			open := strings.LastIndexByte(rest, '(')
+			close := strings.LastIndexByte(rest, ')')
+			if open < 0 || close < open {
+				return nil, fmt.Errorf("he: line %d malformed exchange header", lineNo)
+			}
+			loc := strings.SplitN(rest[open+1:close], ", ", 2)
+			if len(loc) != 2 {
+				return nil, fmt.Errorf("he: line %d malformed location", lineNo)
+			}
+			out = append(out, Exchange{
+				Name: strings.TrimSpace(rest[:open]), City: loc[0], Country: loc[1],
+			})
+		case strings.HasPrefix(strings.TrimSpace(line), "AS"):
+			if len(out) == 0 {
+				return nil, fmt.Errorf("he: line %d member before any exchange", lineNo)
+			}
+			n, err := strconv.Atoi(strings.TrimPrefix(strings.TrimSpace(line), "AS"))
+			if err != nil {
+				return nil, fmt.Errorf("he: line %d bad ASN", lineNo)
+			}
+			out[len(out)-1].ASNs = append(out[len(out)-1].ASNs, n)
+		default:
+			return nil, fmt.Errorf("he: line %d unrecognized: %q", lineNo, line)
+		}
+	}
+	return out, sc.Err()
+}

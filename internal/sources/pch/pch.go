@@ -1,0 +1,132 @@
+// Package pch emulates the Packet Clearing House IXP directory: a TSV of
+// every exchange worldwide with its metro and the ASNs seen there. PCH has
+// no coordinates — only city names — so consumers must resolve locations by
+// name against their own gazetteer.
+package pch
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"igdb/internal/worldgen"
+)
+
+// Record is one IXP directory row.
+type Record struct {
+	Name    string
+	City    string
+	Country string
+	ASNs    []int
+}
+
+// Org is one ASN→organization record from PCH's own registry, whose
+// spellings differ from WHOIS and PeeringDB (the paper's AS2686 example).
+type Org struct {
+	ASN  int
+	Name string
+}
+
+// ExportOrgs renders PCH's ASN→organization table for ASes seen at any of
+// its exchanges.
+func ExportOrgs(w *worldgen.World) []byte {
+	var b bytes.Buffer
+	fmt.Fprintln(&b, "#asn\torganization")
+	seen := map[int]bool{}
+	for _, ix := range w.IXPs {
+		for _, m := range ix.Members {
+			if seen[m.ASN] {
+				continue
+			}
+			seen[m.ASN] = true
+			as := w.ASByNumber(m.ASN)
+			if as == nil {
+				continue
+			}
+			org, ok := as.OrgsBySource["pch"]
+			if !ok {
+				org = as.OrgsBySource["asrank"] // PCH copies WHOIS when blank
+			}
+			fmt.Fprintf(&b, "%d\t%s\n", m.ASN, org)
+		}
+	}
+	return b.Bytes()
+}
+
+// ParseOrgs reads the organization table back.
+func ParseOrgs(data []byte) ([]Org, error) {
+	var out []Org
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		tab := strings.IndexByte(line, '\t')
+		if tab < 0 {
+			return nil, fmt.Errorf("pch: orgs line %d missing tab", lineNo)
+		}
+		asn, err := strconv.Atoi(line[:tab])
+		if err != nil {
+			return nil, fmt.Errorf("pch: orgs line %d bad ASN", lineNo)
+		}
+		out = append(out, Org{ASN: asn, Name: line[tab+1:]})
+	}
+	return out, sc.Err()
+}
+
+// Export renders the PCH directory. PCH tends to know slightly different
+// member sets than PeeringDB (it misses some, it remembers some that left).
+func Export(w *worldgen.World) []byte {
+	var b bytes.Buffer
+	fmt.Fprintln(&b, "#name\tcity\tcountry\tasns")
+	for _, ix := range w.IXPs {
+		c := w.Cities[ix.City]
+		var asns []string
+		for i, m := range ix.Members {
+			// PCH's directory lags: drop every 7th member.
+			if i%7 == 6 {
+				continue
+			}
+			asns = append(asns, strconv.Itoa(m.ASN))
+		}
+		fmt.Fprintf(&b, "%s\t%s\t%s\t%s\n", ix.Name, c.Name, c.Country, strings.Join(asns, ";"))
+	}
+	return b.Bytes()
+}
+
+// Parse reads the TSV back.
+func Parse(data []byte) ([]Record, error) {
+	var out []Record
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.Split(line, "\t")
+		if len(parts) != 4 {
+			return nil, fmt.Errorf("pch: line %d has %d fields", lineNo, len(parts))
+		}
+		rec := Record{Name: parts[0], City: parts[1], Country: parts[2]}
+		if parts[3] != "" {
+			for _, s := range strings.Split(parts[3], ";") {
+				n, err := strconv.Atoi(s)
+				if err != nil {
+					return nil, fmt.Errorf("pch: line %d bad ASN %q", lineNo, s)
+				}
+				rec.ASNs = append(rec.ASNs, n)
+			}
+		}
+		out = append(out, rec)
+	}
+	return out, sc.Err()
+}

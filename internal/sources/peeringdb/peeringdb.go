@@ -1,0 +1,142 @@
+// Package peeringdb emulates the PeeringDB API dump: organizations,
+// networks, peering facilities, exchange points, and the net→facility and
+// net→IX membership relations, serialized as JSON like the real API. It is
+// the richest declarative source and carries both physical (facility
+// lat/lon) and logical (ASN, IXP prefix) information.
+package peeringdb
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+
+	"igdb/internal/geo"
+	"igdb/internal/iptrie"
+	"igdb/internal/worldgen"
+)
+
+// Net is one network (AS) record.
+type Net struct {
+	ASN  int    `json:"asn"`
+	Name string `json:"name"`
+	Org  string `json:"org_name"`
+	Info string `json:"info_type"`
+}
+
+// Fac is one colocation/peering facility.
+type Fac struct {
+	ID      int     `json:"id"`
+	Name    string  `json:"name"`
+	City    string  `json:"city"`
+	State   string  `json:"state"`
+	Country string  `json:"country"`
+	Lat     float64 `json:"latitude"`
+	Lon     float64 `json:"longitude"`
+}
+
+// NetFac records a network's presence at a facility.
+type NetFac struct {
+	ASN   int `json:"asn"`
+	FacID int `json:"fac_id"`
+}
+
+// IX is one exchange point.
+type IX struct {
+	ID       int     `json:"id"`
+	Name     string  `json:"name"`
+	City     string  `json:"city"`
+	Country  string  `json:"country"`
+	PrefixV4 string  `json:"prefix_v4"`
+	Lat      float64 `json:"latitude"`
+	Lon      float64 `json:"longitude"`
+}
+
+// NetIX records a network's port at an exchange.
+type NetIX struct {
+	ASN  int    `json:"asn"`
+	IXID int    `json:"ix_id"`
+	IPv4 string `json:"ipaddr4"`
+}
+
+// Dump is a full PeeringDB snapshot.
+type Dump struct {
+	Nets    []Net    `json:"net"`
+	Facs    []Fac    `json:"fac"`
+	NetFacs []NetFac `json:"netfac"`
+	IXs     []IX     `json:"ix"`
+	NetIXs  []NetIX  `json:"netixlan"`
+}
+
+// Export renders the PeeringDB view: every ISP's declared PoPs become
+// facility presences; IXP members (including remote peers, indistinguishably)
+// become netixlan rows. About a third of stub ASes also register.
+func Export(w *worldgen.World) *Dump {
+	r := rand.New(rand.NewSource(w.Cfg.Seed + 102))
+	d := &Dump{}
+
+	// Facilities per city grow with demand: one colocation site per ~8
+	// tenant networks, as metros with heavy peering host several buildings.
+	facByCity := map[int][]int{}
+	tenantsByCity := map[int]int{}
+	facFor := func(cityID int) int {
+		tenantsByCity[cityID]++
+		facs := facByCity[cityID]
+		if len(facs) == 0 || tenantsByCity[cityID] > 8*len(facs) {
+			c := w.Cities[cityID]
+			id := len(d.Facs) + 1
+			loc := geo.Destination(c.Loc, r.Float64()*360, r.Float64()*6)
+			d.Facs = append(d.Facs, Fac{
+				ID: id, Name: fmt.Sprintf("%s Data Center %d", c.Name, len(facs)+1),
+				City: c.Name, State: c.State, Country: c.Country,
+				Lat: loc.Lat, Lon: loc.Lon,
+			})
+			facs = append(facs, id)
+			facByCity[cityID] = facs
+		}
+		return facs[r.Intn(len(facs))]
+	}
+
+	for _, as := range w.ASes {
+		name, ok := as.NamesBySource["peeringdb"]
+		if !ok {
+			continue // not every AS registers in PeeringDB
+		}
+		info := "NSP"
+		if as.ISP < 0 {
+			info = "Content"
+		}
+		d.Nets = append(d.Nets, Net{ASN: as.ASN, Name: name, Org: as.OrgsBySource["peeringdb"], Info: info})
+		if as.ISP >= 0 {
+			for _, cityID := range w.ISPs[as.ISP].DeclaredPOPs() {
+				d.NetFacs = append(d.NetFacs, NetFac{ASN: as.ASN, FacID: facFor(cityID)})
+			}
+		}
+	}
+	for _, ix := range w.IXPs {
+		c := w.Cities[ix.City]
+		d.IXs = append(d.IXs, IX{
+			ID: ix.ID + 1, Name: ix.Name, City: c.Name, Country: c.Country,
+			PrefixV4: ix.Prefix.String(), Lat: c.Loc.Lat, Lon: c.Loc.Lon,
+		})
+		for _, m := range ix.Members {
+			// Remote peers are NOT flagged — that ambiguity is the §3.3
+			// challenge iGDB has to detect.
+			d.NetIXs = append(d.NetIXs, NetIX{
+				ASN: m.ASN, IXID: ix.ID + 1, IPv4: iptrie.FormatAddr(m.IP),
+			})
+		}
+	}
+	return d
+}
+
+// Marshal serializes the dump as JSON.
+func Marshal(d *Dump) ([]byte, error) { return json.Marshal(d) }
+
+// Parse reads a JSON snapshot.
+func Parse(data []byte) (*Dump, error) {
+	var d Dump
+	if err := json.Unmarshal(data, &d); err != nil {
+		return nil, fmt.Errorf("peeringdb: %w", err)
+	}
+	return &d, nil
+}

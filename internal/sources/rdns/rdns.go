@@ -1,0 +1,78 @@
+// Package rdns emulates the Rapid7 Sonar reverse-DNS dataset: one
+// "<ip>\t<hostname>" line per IPv4 PTR record. Coverage is partial — the
+// paper observes 36% of traceroute IPs never resolve — and that gap is
+// reproduced here because routers without hostnames simply have no line.
+package rdns
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"sort"
+	"strings"
+
+	"igdb/internal/iptrie"
+	"igdb/internal/worldgen"
+)
+
+// Record is one PTR entry.
+type Record struct {
+	IP       uint32
+	Hostname string
+}
+
+// Export renders the PTR table: every router with a hostname, plus the
+// borrowed border-link addresses, which resolve to the answering router's
+// hostname (as real /30 link addresses usually do).
+func Export(w *worldgen.World) []byte {
+	var b bytes.Buffer
+	for _, rt := range w.Routers {
+		if rt.Hostname == "" {
+			continue
+		}
+		fmt.Fprintf(&b, "%s\t%s\n", iptrie.FormatAddr(rt.IP), rt.Hostname)
+	}
+	ips := make([]uint32, 0, len(w.BorderPTR))
+	for ip := range w.BorderPTR {
+		ips = append(ips, ip)
+	}
+	sort.Slice(ips, func(i, j int) bool { return ips[i] < ips[j] })
+	for _, ip := range ips {
+		fmt.Fprintf(&b, "%s\t%s\n", iptrie.FormatAddr(ip), w.BorderPTR[ip])
+	}
+	return b.Bytes()
+}
+
+// Parse reads PTR lines back.
+func Parse(data []byte) ([]Record, error) {
+	var out []Record
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		tab := strings.IndexByte(line, '\t')
+		if tab < 0 {
+			return nil, fmt.Errorf("rdns: line %d missing tab", lineNo)
+		}
+		ip, err := iptrie.ParseAddr(line[:tab])
+		if err != nil {
+			return nil, fmt.Errorf("rdns: line %d: %v", lineNo, err)
+		}
+		out = append(out, Record{IP: ip, Hostname: line[tab+1:]})
+	}
+	return out, sc.Err()
+}
+
+// Lookup builds an IP → hostname map from records.
+func Lookup(recs []Record) map[uint32]string {
+	m := make(map[uint32]string, len(recs))
+	for _, r := range recs {
+		m[r.IP] = r.Hostname
+	}
+	return m
+}

@@ -1,0 +1,107 @@
+// Package ripeatlas emulates the RIPE Atlas anchor platform: anchor
+// metadata (IP, ASN, approximate coordinates — the cross-layer link the
+// paper highlights) and the anchor-mesh traceroute measurements as JSON
+// lines. Only hops visible to the measurement are exported; MPLS-hidden
+// ground truth never leaves worldgen.
+package ripeatlas
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"igdb/internal/geo"
+	"igdb/internal/iptrie"
+	"igdb/internal/worldgen"
+)
+
+// AnchorMeta is one anchor record.
+type AnchorMeta struct {
+	ID  int     `json:"id"`
+	IP  string  `json:"address_v4"`
+	ASN int     `json:"as_v4"`
+	Lat float64 `json:"latitude"`
+	Lon float64 `json:"longitude"`
+}
+
+// HopReply is one responding hop in a measurement.
+type HopReply struct {
+	IP  string  `json:"from"`
+	RTT float64 `json:"rtt"`
+}
+
+// Measurement is one traceroute result.
+type Measurement struct {
+	SrcAnchor int        `json:"src_anchor"`
+	DstAnchor int        `json:"dst_anchor"`
+	Hops      []HopReply `json:"result"`
+}
+
+// Dump is a full RIPE Atlas snapshot.
+type Dump struct {
+	AnchorsJSON       []byte
+	MeasurementsJSONL []byte
+}
+
+// Export renders anchors and the visible traceroute mesh. Anchor
+// coordinates are snapped to ~0.1° like the real platform's privacy fuzz.
+func Export(w *worldgen.World) (*Dump, error) {
+	var metas []AnchorMeta
+	for _, a := range w.Anchors {
+		loc := fuzz(w.Cities[a.City].Loc)
+		metas = append(metas, AnchorMeta{
+			ID: a.ID, IP: iptrie.FormatAddr(a.IP), ASN: a.ASN,
+			Lat: loc.Lat, Lon: loc.Lon,
+		})
+	}
+	anchors, err := json.Marshal(metas)
+	if err != nil {
+		return nil, err
+	}
+	var meas bytes.Buffer
+	enc := json.NewEncoder(&meas)
+	for _, tr := range w.Traces {
+		m := Measurement{SrcAnchor: tr.SrcAnchor, DstAnchor: tr.DstAnchor}
+		for _, h := range tr.VisibleHops() {
+			m.Hops = append(m.Hops, HopReply{IP: iptrie.FormatAddr(h.IP), RTT: round2(h.RTTms)})
+		}
+		if err := enc.Encode(m); err != nil {
+			return nil, err
+		}
+	}
+	return &Dump{AnchorsJSON: anchors, MeasurementsJSONL: meas.Bytes()}, nil
+}
+
+func fuzz(p geo.Point) geo.Point {
+	return geo.Point{
+		Lon: float64(int(p.Lon*10)) / 10,
+		Lat: float64(int(p.Lat*10)) / 10,
+	}
+}
+
+func round2(f float64) float64 { return float64(int(f*100)) / 100 }
+
+// Parse reads a snapshot back.
+func Parse(d *Dump) ([]AnchorMeta, []Measurement, error) {
+	var metas []AnchorMeta
+	if err := json.Unmarshal(d.AnchorsJSON, &metas); err != nil {
+		return nil, nil, fmt.Errorf("ripeatlas: anchors: %w", err)
+	}
+	var ms []Measurement
+	sc := bufio.NewScanner(bytes.NewReader(d.MeasurementsJSONL))
+	sc.Buffer(make([]byte, 4*1024*1024), 4*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+			continue
+		}
+		var m Measurement
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			return nil, nil, fmt.Errorf("ripeatlas: measurement line %d: %w", lineNo, err)
+		}
+		ms = append(ms, m)
+	}
+	return metas, ms, sc.Err()
+}

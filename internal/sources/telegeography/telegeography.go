@@ -1,0 +1,84 @@
+// Package telegeography emulates the Telegeography submarine cable map:
+// cable systems with their consortium owners, landing points and segment
+// geometry, serialized as JSON with WKT path strings (the representation
+// iGDB stores directly into its sub_cables relation).
+package telegeography
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"igdb/internal/wkt"
+	"igdb/internal/worldgen"
+)
+
+// LandingPoint is one shore site where a cable lands.
+type LandingPoint struct {
+	Name    string  `json:"name"`
+	City    string  `json:"city"`
+	Country string  `json:"country"`
+	Lat     float64 `json:"latitude"`
+	Lon     float64 `json:"longitude"`
+}
+
+// Cable is one submarine cable system.
+type Cable struct {
+	ID       int            `json:"id"`
+	Name     string         `json:"name"`
+	Owners   []string       `json:"owners"`
+	LengthKm float64        `json:"length_km"`
+	WKT      string         `json:"wkt"`
+	Landings []LandingPoint `json:"landing_points"`
+}
+
+// Dump is a full Telegeography snapshot.
+type Dump struct {
+	Cables []Cable `json:"cables"`
+}
+
+// Export renders the cable view of the world.
+func Export(w *worldgen.World) *Dump {
+	d := &Dump{}
+	for i, c := range w.Cables {
+		cable := Cable{
+			ID:       i + 1,
+			Name:     c.Name,
+			Owners:   c.Owners,
+			LengthKm: c.LengthKm,
+			WKT:      wkt.Marshal(wkt.NewLineString(c.Path)),
+		}
+		for _, l := range c.Landings {
+			city := w.Cities[l]
+			cable.Landings = append(cable.Landings, LandingPoint{
+				Name:    fmt.Sprintf("%s Landing Station", city.Name),
+				City:    city.Name,
+				Country: city.Country,
+				Lat:     city.Loc.Lat,
+				Lon:     city.Loc.Lon,
+			})
+		}
+		d.Cables = append(d.Cables, cable)
+	}
+	return d
+}
+
+// Marshal serializes the dump as JSON.
+func Marshal(d *Dump) ([]byte, error) { return json.Marshal(d) }
+
+// Parse reads a JSON snapshot and validates every cable geometry.
+func Parse(data []byte) (*Dump, error) {
+	var d Dump
+	if err := json.Unmarshal(data, &d); err != nil {
+		return nil, fmt.Errorf("telegeography: %w", err)
+	}
+	for _, c := range d.Cables {
+		g, err := wkt.Parse(c.WKT)
+		if err != nil {
+			return nil, fmt.Errorf("telegeography: cable %q: %w", c.Name, err)
+		}
+		if g.Kind != wkt.KindLineString && g.Kind != wkt.KindMultiLineString {
+			return nil, fmt.Errorf("telegeography: cable %q has %s geometry", c.Name, g.Kind)
+		}
+	}
+	return &d, nil
+}

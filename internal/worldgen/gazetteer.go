@@ -1,0 +1,309 @@
+package worldgen
+
+// The gazetteer embeds the real-world entities the paper's experiments name
+// directly: the cities of Figures 6-9 and Tables 2-3, and the ASes whose
+// footprints the evaluation measures. The synthetic world is grown around
+// these anchors so the reproduction can report the same entities the paper
+// does, while the long tail of cities/ASes is synthesized.
+
+// gazCity is one embedded real city.
+type gazCity struct {
+	name    string
+	state   string
+	country string // ISO-ish 2-letter code
+	lat     float64
+	lon     float64
+	popK    int // population in thousands
+	coastal bool
+}
+
+var gazetteer = []gazCity{
+	// --- United States: Figure 7 corridor (Kansas City → Atlanta) ---
+	{"Kansas City", "MO", "US", 39.0997, -94.5786, 508, false},
+	{"Tulsa", "OK", "US", 36.1540, -95.9928, 413, false},
+	{"Oklahoma City", "OK", "US", 35.4676, -97.5164, 681, false},
+	{"Dallas", "TX", "US", 32.7767, -96.7970, 1345, false},
+	{"Houston", "TX", "US", 29.7604, -95.3698, 2325, true},
+	{"Atlanta", "GA", "US", 33.7490, -84.3880, 498, false},
+	{"St. Louis", "MO", "US", 38.6270, -90.1994, 301, false},
+	{"Nashville", "TN", "US", 36.1627, -86.7816, 692, false},
+	{"Memphis", "TN", "US", 35.1495, -90.0490, 651, false},
+	{"Little Rock", "AR", "US", 34.7465, -92.2896, 202, false},
+	{"Wichita", "KS", "US", 37.6872, -97.3301, 397, false},
+	{"Springfield", "MO", "US", 37.2090, -93.2923, 169, false},
+	{"Birmingham", "AL", "US", 33.5186, -86.8104, 209, false},
+	{"Chattanooga", "TN", "US", 35.0456, -85.3097, 182, false},
+	{"New Orleans", "LA", "US", 29.9511, -90.0715, 390, true},
+	{"Jackson", "MS", "US", 32.2988, -90.1848, 160, false},
+	{"Shreveport", "LA", "US", 32.5252, -93.7502, 187, false},
+	// --- Figure 6: Cox/Charter overlap metros ---
+	{"Alexandria", "VA", "US", 38.8048, -77.0469, 159, false},
+	{"Chicago", "IL", "US", 41.8781, -87.6298, 2746, false},
+	{"Cleveland", "OH", "US", 41.4993, -81.6944, 372, false},
+	{"Irvine", "TX", "US", 32.8140, -96.9489, 240, false}, // as named in the paper
+	{"Los Angeles", "CA", "US", 34.0522, -118.2437, 3980, true},
+	{"New York", "NY", "US", 40.7128, -74.0060, 8399, true},
+	{"San Diego", "CA", "US", 32.7157, -117.1611, 1423, true},
+	{"San Jose", "CA", "US", 37.3382, -121.8863, 1030, false},
+	// --- Figure 8: Rocketfuel AS7018 corridors ---
+	{"Sacramento", "CA", "US", 38.5816, -121.4944, 513, false},
+	{"Salt Lake City", "UT", "US", 40.7608, -111.8910, 200, false},
+	{"Las Vegas", "NV", "US", 36.1699, -115.1398, 651, false},
+	{"San Bernardino", "CA", "US", 34.1083, -117.2898, 216, false},
+	{"Phoenix", "AZ", "US", 33.4484, -112.0740, 1680, false},
+	{"San Francisco", "CA", "US", 37.7749, -122.4194, 883, true},
+	{"Denver", "CO", "US", 39.7392, -104.9903, 727, false},
+	{"Albuquerque", "NM", "US", 35.0844, -106.6504, 560, false},
+	{"El Paso", "TX", "US", 31.7619, -106.4850, 682, false},
+	{"Austin", "TX", "US", 30.2672, -97.7431, 964, false},
+	{"San Antonio", "TX", "US", 29.4241, -98.4936, 1547, false},
+	{"Miami", "FL", "US", 25.7617, -80.1918, 470, true},
+	{"Orlando", "FL", "US", 28.5383, -81.3792, 287, false},
+	{"Jacksonville", "FL", "US", 30.3322, -81.6557, 911, true},
+	{"Tampa", "FL", "US", 27.9506, -82.4572, 399, true},
+	{"Tallahassee", "FL", "US", 30.4383, -84.2807, 194, false},
+	{"Charlotte", "NC", "US", 35.2271, -80.8431, 885, false},
+	{"Raleigh", "NC", "US", 35.7796, -78.6382, 474, false},
+	{"Richmond", "VA", "US", 37.5407, -77.4360, 230, false},
+	{"Washington", "DC", "US", 38.9072, -77.0369, 705, false},
+	{"Philadelphia", "PA", "US", 39.9526, -75.1652, 1584, true},
+	{"Baltimore", "MD", "US", 39.2904, -76.6122, 593, true},
+	{"Pittsburgh", "PA", "US", 40.4406, -79.9959, 300, false},
+	{"Columbus", "OH", "US", 39.9612, -82.9988, 898, false},
+	{"Cincinnati", "OH", "US", 39.1031, -84.5120, 303, false},
+	{"Indianapolis", "IN", "US", 39.7684, -86.1581, 876, false},
+	{"Detroit", "MI", "US", 42.3314, -83.0458, 672, false},
+	{"Milwaukee", "WI", "US", 43.0389, -87.9065, 590, false},
+	{"Madison", "WI", "US", 43.0731, -89.4012, 259, false},
+	{"Minneapolis", "MN", "US", 44.9778, -93.2650, 429, false},
+	{"Omaha", "NE", "US", 41.2565, -95.9345, 478, false},
+	{"Des Moines", "IA", "US", 41.5868, -93.6250, 214, false},
+	{"Boston", "MA", "US", 42.3601, -71.0589, 694, true},
+	{"Syracuse", "NY", "US", 43.0481, -76.1474, 142, false},
+	{"Buffalo", "NY", "US", 42.8864, -78.8784, 255, false},
+	{"Albany", "NY", "US", 42.6526, -73.7562, 97, false},
+	{"Hartford", "CT", "US", 41.7658, -72.6734, 122, false},
+	{"Newark", "NJ", "US", 40.7357, -74.1724, 282, true},
+	{"Seattle", "WA", "US", 47.6062, -122.3321, 744, true},
+	{"Portland", "OR", "US", 45.5152, -122.6784, 653, false},
+	{"Boise", "ID", "US", 43.6150, -116.2023, 228, false},
+	{"Reno", "NV", "US", 39.5296, -119.8138, 250, false},
+	{"Fresno", "CA", "US", 36.7378, -119.7871, 531, false},
+	{"Bakersfield", "CA", "US", 35.3733, -119.0187, 384, false},
+	{"Tucson", "AZ", "US", 32.2226, -110.9747, 548, false},
+	{"Louisville", "KY", "US", 38.2527, -85.7585, 617, false},
+	{"Knoxville", "TN", "US", 35.9606, -83.9207, 187, false},
+	{"Savannah", "GA", "US", 32.0809, -81.0912, 145, true},
+	{"Norfolk", "VA", "US", 36.8508, -76.2859, 245, true},
+	// --- Europe: Figures 1 and 9 (Madrid → Berlin) ---
+	{"Madrid", "", "ES", 40.4168, -3.7038, 3223, false},
+	{"Barcelona", "", "ES", 41.3851, 2.1734, 1620, true},
+	{"Bilbao", "", "ES", 43.2630, -2.9350, 345, true},
+	{"Valencia", "", "ES", 39.4699, -0.3763, 791, true},
+	{"Andorra la Vella", "", "AD", 42.5063, 1.5218, 22, false},
+	{"Toulouse", "", "FR", 43.6047, 1.4442, 479, false},
+	{"Bordeaux", "", "FR", 44.8378, -0.5792, 257, true},
+	{"Biarritz", "", "FR", 43.4832, -1.5586, 25, true},
+	{"Paris", "", "FR", 48.8566, 2.3522, 2161, false},
+	{"Lyon", "", "FR", 45.7640, 4.8357, 516, false},
+	{"Marseille", "", "FR", 43.2965, 5.3698, 861, true},
+	{"Geneva", "", "CH", 46.2044, 6.1432, 201, false},
+	{"Bern", "", "CH", 46.9480, 7.4474, 133, false},
+	{"Zurich", "", "CH", 47.3769, 8.5417, 415, false},
+	{"Torino", "", "IT", 45.0703, 7.6869, 870, false},
+	{"Milano", "", "IT", 45.4642, 9.1900, 1372, false},
+	{"Rome", "", "IT", 41.9028, 12.4964, 2873, false},
+	{"Frankfurt", "", "DE", 50.1109, 8.6821, 753, false},
+	{"Offenbach", "", "DE", 50.0956, 8.7761, 130, false},
+	{"Munich", "", "DE", 48.1351, 11.5820, 1472, false},
+	{"Freiburg", "", "DE", 47.9990, 7.8421, 230, false},
+	{"Berlin", "", "DE", 52.5200, 13.4050, 3645, false},
+	{"Hamburg", "", "DE", 53.5511, 9.9937, 1841, true},
+	{"Dresden", "", "DE", 51.0504, 13.7373, 554, false},
+	{"Duesseldorf", "", "DE", 51.2277, 6.7735, 619, false},
+	{"Cologne", "", "DE", 50.9375, 6.9603, 1086, false},
+	{"Stuttgart", "", "DE", 48.7758, 9.1829, 634, false},
+	{"Amsterdam", "", "NL", 52.3676, 4.9041, 872, true},
+	{"Rotterdam", "", "NL", 51.9244, 4.4777, 651, true},
+	{"Brussels", "", "BE", 50.8503, 4.3517, 1209, false},
+	{"Antwerp", "", "BE", 51.2194, 4.4025, 529, true},
+	{"London", "", "GB", 51.5074, -0.1278, 8982, true},
+	{"Manchester", "", "GB", 53.4808, -2.2426, 553, false},
+	{"Dublin", "", "IE", 53.3498, -6.2603, 555, true},
+	{"Vienna", "", "AT", 48.2082, 16.3738, 1897, false},
+	{"Prague", "", "CZ", 50.0755, 14.4378, 1309, false},
+	{"Warsaw", "", "PL", 52.2297, 21.0122, 1790, false},
+	{"Katowice", "", "PL", 50.2649, 19.0238, 294, false},
+	{"Krakow", "", "PL", 50.0647, 19.9450, 779, false},
+	{"Copenhagen", "", "DK", 55.6761, 12.5683, 794, true},
+	{"Stockholm", "", "SE", 59.3293, 18.0686, 975, true},
+	{"Oslo", "", "NO", 59.9139, 10.7522, 693, true},
+	{"Helsinki", "", "FI", 60.1699, 24.9384, 656, true},
+	{"Lisbon", "", "PT", 38.7223, -9.1393, 505, true},
+	{"Porto", "", "PT", 41.1579, -8.6291, 237, true},
+	{"Athens", "", "GR", 37.9838, 23.7275, 664, true},
+	{"Budapest", "", "HU", 47.4979, 19.0402, 1752, false},
+	{"Bucharest", "", "RO", 44.4268, 26.1025, 1883, false},
+	{"Sofia", "", "BG", 42.6977, 23.3219, 1236, false},
+	{"Zagreb", "", "HR", 45.8150, 15.9819, 806, false},
+	{"Kyiv", "", "UA", 50.4501, 30.5234, 2884, false},
+	{"Moscow", "", "RU", 55.7558, 37.6173, 11920, false},
+	// --- Asia / Oceania / Americas / Africa ---
+	{"Hong Kong", "", "HK", 22.3193, 114.1694, 7482, true},
+	{"Singapore", "", "SG", 1.3521, 103.8198, 5639, true},
+	{"Tokyo", "", "JP", 35.6762, 139.6503, 13960, true},
+	{"Osaka", "", "JP", 34.6937, 135.5023, 2691, true},
+	{"Seoul", "", "KR", 37.5665, 126.9780, 9776, false},
+	{"Taipei", "", "TW", 25.0330, 121.5654, 2646, true},
+	{"Shanghai", "", "CN", 31.2304, 121.4737, 24280, true},
+	{"Beijing", "", "CN", 39.9042, 116.4074, 21540, false},
+	{"Mumbai", "", "IN", 19.0760, 72.8777, 12440, true},
+	{"Delhi", "", "IN", 28.7041, 77.1025, 16790, false},
+	{"Chennai", "", "IN", 13.0827, 80.2707, 7088, true},
+	{"Bangkok", "", "TH", 13.7563, 100.5018, 8281, false},
+	{"Jakarta", "", "ID", -6.2088, 106.8456, 10560, true},
+	{"Kuala Lumpur", "", "MY", 3.1390, 101.6869, 1808, false},
+	{"Manila", "", "PH", 14.5995, 120.9842, 1780, true},
+	{"Dubai", "", "AE", 25.2048, 55.2708, 3331, true},
+	{"Tel Aviv", "", "IL", 32.0853, 34.7818, 452, true},
+	{"Istanbul", "", "TR", 41.0082, 28.9784, 15460, true},
+	{"Sydney", "", "AU", -33.8688, 151.2093, 5312, true},
+	{"Melbourne", "", "AU", -37.8136, 144.9631, 5078, true},
+	{"Perth", "", "AU", -31.9505, 115.8605, 2059, true},
+	{"Auckland", "", "NZ", -36.8509, 174.7645, 1657, true},
+	{"Sao Paulo", "", "BR", -23.5505, -46.6333, 12330, false},
+	{"Rio de Janeiro", "", "BR", -22.9068, -43.1729, 6748, true},
+	{"Fortaleza", "", "BR", -3.7319, -38.5267, 2669, true},
+	{"Buenos Aires", "", "AR", -34.6037, -58.3816, 3075, true},
+	{"Santiago", "", "CL", -33.4489, -70.6693, 6160, false},
+	{"Lima", "", "PE", -12.0464, -77.0428, 9752, true},
+	{"Bogota", "", "CO", 4.7110, -74.0721, 7413, false},
+	{"Mexico City", "", "MX", 19.4326, -99.1332, 9209, false},
+	{"Panama City", "", "PA", 8.9824, -79.5199, 880, true},
+	{"Toronto", "ON", "CA", 43.6532, -79.3832, 2930, false},
+	{"Montreal", "QC", "CA", 45.5017, -73.5673, 1780, false},
+	{"Vancouver", "BC", "CA", 49.2827, -123.1207, 675, true},
+	{"Calgary", "AB", "CA", 51.0447, -114.0719, 1239, false},
+	{"Johannesburg", "", "ZA", -26.2041, 28.0473, 5635, false},
+	{"Cape Town", "", "ZA", -33.9249, 18.4241, 4618, true},
+	{"Nairobi", "", "KE", -1.2921, 36.8219, 4397, false},
+	{"Lagos", "", "NG", 6.5244, 3.3792, 14860, true},
+	{"Cairo", "", "EG", 30.0444, 31.2357, 9540, false},
+	{"Casablanca", "", "MA", 33.5731, -7.5898, 3359, true},
+	{"Marseilles-Landing", "", "FR", 43.27, 5.35, 10, true}, // cable landing aux
+}
+
+// gazAS is one embedded real autonomous system with the footprint shape the
+// paper reports for it.
+type gazAS struct {
+	asn         int
+	nameASRank  string // from WHOIS via AS Rank
+	namePDB     string // PeeringDB variant (often different; see AS2686)
+	orgASRank   string
+	orgPDB      string
+	orgPCH      string
+	countries   int    // target country footprint (Table 2)
+	usMetros    int    // target US metro footprint (Figure 6), 0 = derive
+	homeCountry string // weighting for footprint growth
+	isp         bool   // modelled as an ISP with PoP infrastructure
+	mpls        bool
+	domain      string // rDNS domain; "" = no reverse DNS
+	tier        int
+}
+
+var gazASes = []gazAS{
+	// Table 2: ASes with physical presence in the most countries.
+	{13335, "CLOUDFLARENET", "Cloudflare", "Cloudflare, Inc.", "Cloudflare, Inc.", "Cloudflare", 52, 0, "US", true, false, "cloudflare.com", 1},
+	{6939, "HURRICANE", "Hurricane Electric", "Hurricane Electric LLC", "Hurricane Electric", "Hurricane Electric LLC", 50, 0, "US", true, false, "he.net", 1},
+	{8075, "MICROSOFT-CORP", "Microsoft", "Microsoft Corporation", "Microsoft Corp", "Microsoft Corporation", 50, 0, "US", true, false, "msn.net", 1},
+	{174, "COGENT-174", "Cogent", "Cogent Communications", "Cogent Communications, Inc.", "Cogent", 45, 0, "US", true, true, "atlas.cogentco.com", 1},
+	{16509, "AMAZON-02", "Amazon Web Services", "Amazon.com, Inc.", "Amazon", "Amazon.com", 44, 0, "US", true, false, "amazonaws.com", 1},
+	{42473, "AS-ANEXIA", "ANEXIA", "ANEXIA Internetdienstleistungs GmbH", "ANEXIA", "ANEXIA GmbH", 44, 0, "AT", true, false, "anexia-it.net", 2},
+	{32934, "FACEBOOK", "Meta", "Facebook, Inc.", "Meta Platforms", "Facebook Inc", 42, 0, "US", true, false, "facebook.com", 1},
+	{32261, "SUBSPACE", "Subspace", "SUBSPACE", "Subspace Inc", "SUBSPACE", 41, 0, "US", true, false, "subspace.net", 2},
+	{20940, "AKAMAI-ASN1", "Akamai", "Akamai International B.V.", "Akamai Technologies", "Akamai", 38, 0, "US", true, false, "akamaitechnologies.com", 1},
+	{15169, "GOOGLE", "Google LLC", "Google LLC", "Google", "Google Inc.", 35, 0, "US", true, false, "1e100.net", 1},
+	{57463, "NetIX", "NetIX Communications", "NetIX Communications JSC", "NetIX", "NetIX Communications Ltd.", 35, 0, "BG", true, false, "netix.net", 2},
+	// Figure 6: Cox and Charter.
+	{22773, "ASN-CXA-ALL-CCI-22773-RDC", "Cox Communications", "Cox Communications Inc.", "Cox Communications", "Cox Communications Inc", 1, 30, "US", true, false, "coxfiber.net", 2},
+	{20115, "CHARTER-20115", "Charter Communications", "Charter Communications", "Charter Communications Inc", "Charter", 1, 40, "US", true, false, "chtrptr.net", 2},
+	{7843, "TWCABLE-BACKBONE", "Charter Communications (TWC)", "Charter Communications Inc", "Charter Communications", "Time Warner Cable", 1, 17, "US", true, false, "twcable.com", 2},
+	{20001, "TWC-20001-PACWEST", "Charter (Pacwest)", "Charter Communications Inc", "Charter Communications", "Time Warner Cable Pacific West", 1, 9, "US", true, false, "twcable.com", 3},
+	{10796, "TWC-10796-MIDWEST", "Charter (Midwest)", "Charter Communications Inc", "Charter Communications", "Time Warner Cable Midwest", 1, 15, "US", true, false, "twcable.com", 3},
+	// Figure 8: AT&T (Rocketfuel AS7018).
+	{7018, "ATT-INTERNET4", "AT&T", "AT&T Services, Inc.", "AT&T", "AT&T Services Inc", 8, 0, "US", true, true, "ip.att.net", 1},
+	// §3.2's naming-inconsistency example.
+	{2686, "ATGS-MMD-AS", "as-ignemea", "AT&T Global Network Services, LLC", "AT&T EMEA - AS2686", "AT&T Global Network Services Nederland BV", 12, 0, "NL", true, false, "attgns.net", 2},
+	// Figure 9: Madrid→Berlin traceroute ASes.
+	{20647, "IPB-AS", "IPB GmbH", "IPB Internet Provider in Berlin GmbH", "IPB", "IPB GmbH Berlin", 3, 0, "DE", true, false, "ipb.de", 3},
+	{22822, "LLNW", "Limelight Networks", "Limelight Networks, Inc.", "LLNW", "Limelight Networks Inc", 29, 0, "US", true, true, "llnw.net", 1},
+	{12008, "ULTRADNS", "UltraDNS", "NeuStar, Inc.", "ULTRADNS", "UltraDNS Corp", 18, 0, "US", true, false, "ultradns.net", 2},
+	// Figure 7's transit ASes.
+	{12186, "WBSCONNECT", "WBS Connect", "WBS Connect LLC", "WBS Connect", "WBS Connect L.L.C.", 4, 0, "US", true, true, "wbsconnect.net", 2},
+	{20473, "AS-VULTR", "Vultr", "The Constant Company, LLC", "Vultr Holdings", "Choopa LLC", 25, 0, "US", true, false, "choopa.net", 2},
+	{64199, "ANCHOR-NET", "AnchorNet", "Anchor Networks LLC", "AnchorNet", "Anchor Networks", 2, 0, "US", true, false, "anchor-net.example", 3},
+	// Additional large transits so the synthetic AS graph has a realistic core.
+	{3356, "LEVEL3", "Lumen", "Level 3 Parent, LLC", "Lumen Technologies", "Level 3 Communications", 34, 0, "US", true, true, "level3.net", 1},
+	{1299, "TWELVE99", "Arelion", "Arelion Sweden AB", "Arelion", "Telia Carrier", 33, 0, "SE", true, false, "arelion.net", 1},
+	{2914, "NTT-LTD-2914", "NTT", "NTT America, Inc.", "NTT Global IP Network", "NTT Communications", 30, 0, "JP", true, true, "ntt.net", 1},
+	{3257, "GTT-BACKBONE", "GTT", "GTT Communications Inc.", "GTT", "GTT Communications", 28, 0, "US", true, false, "gtt.net", 1},
+	{6453, "AS6453", "TATA (AS6453)", "TATA COMMUNICATIONS (AMERICA) INC", "Tata Communications", "Tata Communications America", 27, 0, "US", true, true, "tata.net", 1},
+	{6461, "ZAYO-6461", "Zayo", "Zayo Bandwidth", "Zayo Group", "Zayo Bandwidth Inc", 20, 0, "US", true, false, "zayo.com", 1},
+	{3491, "BTN-ASN", "PCCW Global", "PCCW Global, Inc.", "PCCW Global", "Beyond The Network America", 24, 0, "HK", true, false, "pccwbtn.net", 1},
+	{7922, "COMCAST-7922", "Comcast", "Comcast Cable Communications, LLC", "Comcast", "Comcast Cable", 2, 25, "US", true, false, "comcast.net", 2},
+	{701, "UUNET", "Verizon", "Verizon Business/UUnet", "Verizon", "MCI Communications/Verizon", 15, 0, "US", true, true, "verizon-gni.net", 1},
+}
+
+// usOverlapMetros are the ten metros the paper reports as shared between Cox
+// and Charter (Figure 6).
+var usOverlapMetros = []string{
+	"Alexandria", "Atlanta", "Chicago", "Cleveland", "Dallas",
+	"Irvine", "Los Angeles", "New York", "San Diego", "San Jose",
+}
+
+// rocketfuelEdges are the metro-level AS7018 adjacencies recreated from the
+// Rocketfuel AT&T map (Figure 8 left): deliberately more diverse than the
+// physical corridors, so the iGDB representation can show the collapse onto
+// shared rights-of-way.
+var rocketfuelEdges = [][2]string{
+	{"San Francisco", "Sacramento"}, {"San Francisco", "Los Angeles"},
+	{"San Francisco", "Salt Lake City"}, {"San Francisco", "Denver"},
+	{"San Francisco", "Chicago"}, {"Sacramento", "Salt Lake City"},
+	{"San Jose", "Sacramento"}, {"San Jose", "Los Angeles"},
+	{"Los Angeles", "Las Vegas"}, {"Los Angeles", "Phoenix"},
+	{"Los Angeles", "Dallas"}, {"San Diego", "Phoenix"},
+	{"San Bernardino", "Phoenix"}, {"Las Vegas", "Salt Lake City"},
+	{"Phoenix", "El Paso"}, {"Phoenix", "Dallas"},
+	{"Salt Lake City", "Denver"}, {"Denver", "Kansas City"},
+	{"Denver", "Chicago"}, {"Kansas City", "Chicago"},
+	{"Kansas City", "St. Louis"}, {"Dallas", "Houston"},
+	{"Dallas", "Atlanta"}, {"Dallas", "Kansas City"},
+	{"Houston", "New Orleans"}, {"Houston", "Atlanta"},
+	{"St. Louis", "Chicago"}, {"St. Louis", "Nashville"},
+	{"Chicago", "Detroit"}, {"Chicago", "Cleveland"},
+	{"Chicago", "New York"}, {"Cleveland", "New York"},
+	{"Detroit", "New York"}, {"Nashville", "Atlanta"},
+	{"Atlanta", "Charlotte"}, {"Atlanta", "Orlando"},
+	{"Atlanta", "Miami"}, {"Atlanta", "Jacksonville"},
+	{"Atlanta", "Washington"}, {"Orlando", "Miami"},
+	{"Orlando", "Tampa"}, {"Jacksonville", "Orlando"},
+	{"Jacksonville", "Miami"}, {"Tampa", "Miami"},
+	{"Charlotte", "Washington"}, {"Washington", "Philadelphia"},
+	{"Philadelphia", "New York"}, {"New York", "Boston"},
+}
+
+// realCountryNames maps embedded country codes to display names.
+var realCountryNames = map[string]string{
+	"US": "United States", "CA": "Canada", "MX": "Mexico", "PA": "Panama",
+	"BR": "Brazil", "AR": "Argentina", "CL": "Chile", "PE": "Peru", "CO": "Colombia",
+	"ES": "Spain", "FR": "France", "DE": "Germany", "IT": "Italy", "CH": "Switzerland",
+	"AD": "Andorra", "NL": "Netherlands", "BE": "Belgium", "GB": "United Kingdom",
+	"IE": "Ireland", "AT": "Austria", "CZ": "Czechia", "PL": "Poland", "DK": "Denmark",
+	"SE": "Sweden", "NO": "Norway", "FI": "Finland", "PT": "Portugal", "GR": "Greece",
+	"HU": "Hungary", "RO": "Romania", "BG": "Bulgaria", "HR": "Croatia", "UA": "Ukraine",
+	"RU": "Russia", "HK": "Hong Kong", "SG": "Singapore", "JP": "Japan", "KR": "South Korea",
+	"TW": "Taiwan", "CN": "China", "IN": "India", "TH": "Thailand", "ID": "Indonesia",
+	"MY": "Malaysia", "PH": "Philippines", "AE": "United Arab Emirates", "IL": "Israel",
+	"TR": "Turkey", "AU": "Australia", "NZ": "New Zealand", "ZA": "South Africa",
+	"KE": "Kenya", "NG": "Nigeria", "EG": "Egypt", "MA": "Morocco",
+}

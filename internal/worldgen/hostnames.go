@@ -1,0 +1,96 @@
+package worldgen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// HostScheme describes an ISP's router-naming convention: which dot-token
+// of the hostname carries the city code and how the surrounding tokens look.
+// Real operators do exactly this (the paper's Table 3 shows Cogent's
+// be2695.rcr21.drs01.atlas.cogentco.com, where "drs" encodes Dresden), and
+// the Hoiho substrate has to *learn* these conventions per domain.
+type HostScheme struct {
+	// CodeToken is the 0-based index of the dot-separated token (counting
+	// from the left, before the domain) that embeds the city code.
+	CodeToken int
+	// NumTokens is how many leading tokens precede the domain.
+	NumTokens int
+	// Style selects the decoration of the code token: 0 = code+2 digits
+	// ("drs01"), 1 = bare code ("drs"), 2 = code with dash-digit ("drs-1").
+	Style int
+}
+
+// schemeForISP derives a deterministic naming scheme from the ISP id.
+func schemeForISP(r *rand.Rand) HostScheme {
+	n := 2 + r.Intn(2) // 2 or 3 leading tokens
+	return HostScheme{
+		CodeToken: r.Intn(n),
+		NumTokens: n,
+		Style:     r.Intn(3),
+	}
+}
+
+var prefixPools = [][]string{
+	{"be", "ae", "te", "xe", "hu", "et"},
+	{"rcr", "ccr", "cor", "agr", "bbr", "edg"},
+}
+
+// Hostname renders a router hostname under the scheme. cityCode is embedded
+// at CodeToken; when cityCode is empty a generic numeric token is emitted
+// instead (a hostname without geohints).
+func (s HostScheme) Hostname(r *rand.Rand, cityCode, domain string) string {
+	tokens := make([]string, s.NumTokens)
+	for i := range tokens {
+		if i == s.CodeToken && cityCode != "" {
+			switch s.Style {
+			case 0:
+				tokens[i] = fmt.Sprintf("%s%02d", cityCode, 1+r.Intn(4))
+			case 1:
+				tokens[i] = cityCode
+			default:
+				tokens[i] = fmt.Sprintf("%s-%d", cityCode, 1+r.Intn(4))
+			}
+			continue
+		}
+		pool := prefixPools[min(i, len(prefixPools)-1)]
+		tokens[i] = fmt.Sprintf("%s%d", pool[r.Intn(len(pool))], 1+r.Intn(4095))
+	}
+	return strings.Join(tokens, ".") + "." + domain
+}
+
+// CityCode derives the 3-letter location code an operator would use for a
+// city: first letter plus following consonants ("Dresden" → "drs",
+// "Atlanta" → "atl").
+func CityCode(name string) string {
+	lower := strings.ToLower(name)
+	var letters []rune
+	for _, c := range lower {
+		if c >= 'a' && c <= 'z' {
+			letters = append(letters, c)
+		}
+	}
+	if len(letters) == 0 {
+		return "xxx"
+	}
+	code := []rune{letters[0]}
+	for _, c := range letters[1:] {
+		if len(code) == 3 {
+			break
+		}
+		if !strings.ContainsRune("aeiou", c) {
+			code = append(code, c)
+		}
+	}
+	for _, c := range letters[1:] {
+		if len(code) == 3 {
+			break
+		}
+		code = append(code, c)
+	}
+	for len(code) < 3 {
+		code = append(code, 'x')
+	}
+	return string(code)
+}

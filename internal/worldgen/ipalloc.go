@@ -1,0 +1,75 @@
+package worldgen
+
+// ipalloc hands out host addresses inside an AS's first /19 so that every
+// synthetic interface IP longest-prefix-matches back to its owner (or, for
+// deliberately "borrowed" border addresses, to the neighbour that numbered
+// the link).
+
+const hostsPer19 = 8192
+
+// allocIP returns the next unused host address inside the AS's first
+// prefix, or 0 when the block is exhausted (callers fall back to reuse).
+func (w *World) allocIP(asn int) uint32 {
+	if w.ipNext == nil {
+		w.ipNext = make(map[int]uint32)
+	}
+	next, ok := w.ipNext[asn]
+	if !ok {
+		next = 16 // skip network + infrastructure reserved space
+	}
+	if next >= hostsPer19-2 {
+		return 0
+	}
+	w.ipNext[asn] = next + 1
+	as := w.ASByNumber(asn)
+	if as == nil || len(as.Prefixes) == 0 {
+		return 0
+	}
+	return as.Prefixes[0].Addr + next
+}
+
+// borrowedBorderIP returns (allocating on first use) the address AS prevASN
+// assigned to its side's /30 toward the given router — the classic case
+// where a traceroute hop responds from the neighbour's address space and
+// naive longest-prefix matching mis-attributes the hop.
+func (w *World) borrowedBorderIP(prevASN int, routerID int) uint32 {
+	if w.borderIP == nil {
+		w.borderIP = make(map[[2]int]uint32)
+		w.BorderPTR = make(map[uint32]string)
+	}
+	key := [2]int{prevASN, routerID}
+	if ip, ok := w.borderIP[key]; ok {
+		return ip
+	}
+	ip := w.allocIP(prevASN)
+	if ip == 0 {
+		return 0
+	}
+	w.borderIP[key] = ip
+	if h := w.Routers[routerID].Hostname; h != "" {
+		w.BorderPTR[ip] = h
+	}
+	return ip
+}
+
+// anchorMetroIP returns the idx-th intra-metro infrastructure address for
+// the anchor's network, allocating a small stable pool per anchor.
+func (w *World) anchorMetroIP(anchorID, asn, idx int) uint32 {
+	if w.metroIPs == nil {
+		w.metroIPs = make(map[int][]uint32)
+	}
+	pool := w.metroIPs[anchorID]
+	for len(pool) <= idx {
+		ip := w.allocIP(asn)
+		if ip == 0 {
+			if len(pool) > 0 {
+				ip = pool[0]
+			} else {
+				return 0
+			}
+		}
+		pool = append(pool, ip)
+	}
+	w.metroIPs[anchorID] = pool
+	return pool[idx]
+}

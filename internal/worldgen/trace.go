@@ -1,0 +1,29 @@
+package worldgen
+
+import (
+	"fmt"
+	"os"
+	"time"
+)
+
+// stageTimer reports per-stage generation timing when IGDB_TRACE_GEN is set;
+// useful when sizing paper-scale worlds.
+type stageTimer struct {
+	name  string
+	start time.Time
+}
+
+func traceStage(name string) stageTimer {
+	return stageTimer{name: name, start: time.Now()}
+}
+
+func (s stageTimer) next(name string) stageTimer {
+	s.done()
+	return traceStage(name)
+}
+
+func (s stageTimer) done() {
+	if os.Getenv("IGDB_TRACE_GEN") != "" {
+		fmt.Fprintf(os.Stderr, "worldgen: %-12s %v\n", s.name, time.Since(s.start))
+	}
+}

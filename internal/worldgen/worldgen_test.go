@@ -1,0 +1,542 @@
+package worldgen
+
+import (
+	"math"
+	"testing"
+
+	"igdb/internal/geo"
+	"igdb/internal/graph"
+)
+
+// small builds the SmallConfig world once; tests share it read-only.
+var smallWorld = Generate(SmallConfig())
+
+func TestDeterminism(t *testing.T) {
+	a := Generate(SmallConfig())
+	b := Generate(SmallConfig())
+	if len(a.Cities) != len(b.Cities) || len(a.Roads) != len(b.Roads) ||
+		len(a.ASes) != len(b.ASes) || len(a.Traces) != len(b.Traces) {
+		t.Fatal("same seed must give identical shape")
+	}
+	for i := range a.Cities {
+		if a.Cities[i] != b.Cities[i] {
+			t.Fatalf("city %d differs between runs", i)
+		}
+	}
+	for i := range a.Traces {
+		if len(a.Traces[i].Hops) != len(b.Traces[i].Hops) {
+			t.Fatalf("trace %d differs between runs", i)
+		}
+	}
+	c := SmallConfig()
+	c.Seed = 99
+	other := Generate(c)
+	diff := false
+	for i := range other.Cities {
+		if i < len(a.Cities) && other.Cities[i] != a.Cities[i] {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Error("different seeds should produce different worlds")
+	}
+}
+
+func TestCityCounts(t *testing.T) {
+	w := smallWorld
+	if len(w.Cities) != SmallConfig().NumCities {
+		t.Errorf("cities = %d, want %d", len(w.Cities), SmallConfig().NumCities)
+	}
+	if len(w.Countries) < SmallConfig().NumCountries {
+		t.Errorf("countries = %d, want >= %d", len(w.Countries), SmallConfig().NumCountries)
+	}
+	// All gazetteer cities embedded with their real coordinates.
+	kc := w.Cities[w.CityID("Kansas City")]
+	if math.Abs(kc.Loc.Lat-39.0997) > 1e-6 || kc.Country != "US" || kc.State != "MO" {
+		t.Errorf("Kansas City mangled: %+v", kc)
+	}
+	// Every city has a valid location and an existing country.
+	codes := make(map[string]bool)
+	for _, c := range w.Countries {
+		codes[c.Code] = true
+	}
+	for _, c := range w.Cities {
+		if !c.Loc.Valid() {
+			t.Fatalf("city %s has invalid location %v", c.Name, c.Loc)
+		}
+		if !codes[c.Country] {
+			t.Fatalf("city %s references unknown country %q", c.Name, c.Country)
+		}
+		if c.Population <= 0 {
+			t.Fatalf("city %s has no population", c.Name)
+		}
+	}
+}
+
+func TestCityNamesUnique(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, c := range smallWorld.Cities {
+		if seen[c.Name] {
+			t.Fatalf("duplicate city name %q", c.Name)
+		}
+		seen[c.Name] = true
+	}
+}
+
+func TestRoadsConnectContinents(t *testing.T) {
+	w := smallWorld
+	// Per continent, the road graph must be connected.
+	for cont := range w.Continents {
+		idx := map[int]int{}
+		var ids []int
+		for _, c := range w.Cities {
+			if c.Continent == cont {
+				idx[c.ID] = len(ids)
+				ids = append(ids, c.ID)
+			}
+		}
+		if len(ids) < 2 {
+			continue
+		}
+		g := graph.New(len(ids))
+		for _, e := range w.Roads {
+			a, aok := idx[e.A]
+			b, bok := idx[e.B]
+			if aok && bok {
+				g.AddUndirected(a, b, 1)
+			}
+		}
+		if _, count := g.Components(); count != 1 {
+			t.Errorf("continent %s road network has %d components", w.Continents[cont].Name, count)
+		}
+	}
+	// Road paths have sane geometry.
+	for _, e := range w.Roads {
+		if len(e.Path) < 2 {
+			t.Fatal("road with degenerate path")
+		}
+		direct := geo.Haversine(w.Cities[e.A].Loc, w.Cities[e.B].Loc)
+		if e.LengthKm < direct-1 {
+			t.Fatalf("road shorter than great circle: %f < %f", e.LengthKm, direct)
+		}
+		if e.LengthKm > direct*2+10 {
+			t.Fatalf("road absurdly long: %f vs direct %f", e.LengthKm, direct)
+		}
+	}
+}
+
+func TestASInvariants(t *testing.T) {
+	w := smallWorld
+	if len(w.ASes) != SmallConfig().NumASNs {
+		t.Errorf("ASes = %d, want %d", len(w.ASes), SmallConfig().NumASNs)
+	}
+	seen := map[int]bool{}
+	for _, as := range w.ASes {
+		if seen[as.ASN] {
+			t.Fatalf("duplicate ASN %d", as.ASN)
+		}
+		seen[as.ASN] = true
+		if len(as.Prefixes) == 0 {
+			t.Fatalf("AS%d has no prefixes", as.ASN)
+		}
+		if as.NamesBySource["asrank"] == "" {
+			t.Fatalf("AS%d missing AS Rank name", as.ASN)
+		}
+		if as.ISP >= 0 && w.ISPs[as.ISP].ASN != as.ASN {
+			t.Fatalf("AS%d ISP back-reference broken", as.ASN)
+		}
+	}
+	// Link density near the paper's 4.1 links per AS.
+	ratio := float64(len(w.ASLinks)) / float64(len(w.ASes))
+	if ratio < 3.5 || ratio > 5.0 {
+		t.Errorf("AS link density %.2f, want ~4.1", ratio)
+	}
+	// No duplicate links.
+	links := map[[2]int]bool{}
+	for _, l := range w.ASLinks {
+		k := [2]int{min(l.A, l.B), max(l.A, l.B)}
+		if links[k] {
+			t.Fatalf("duplicate AS link %v", k)
+		}
+		links[k] = true
+	}
+}
+
+func TestPrefixesDisjoint(t *testing.T) {
+	w := smallWorld
+	seen := map[uint32]int{}
+	for _, as := range w.ASes {
+		for _, p := range as.Prefixes {
+			if p.Len != 19 {
+				t.Fatalf("AS prefix %s is not a /19", p)
+			}
+			if other, dup := seen[p.Addr]; dup {
+				t.Fatalf("prefix %s assigned to both AS%d and AS%d", p, other, as.ASN)
+			}
+			seen[p.Addr] = as.ASN
+		}
+	}
+}
+
+func TestEmbeddedFootprints(t *testing.T) {
+	w := smallWorld
+	// Cox has exactly 30 metros, Charter family 71, overlap exactly 10.
+	cox := map[int]bool{}
+	charter := map[int]bool{}
+	for _, isp := range w.ISPs {
+		switch isp.ASN {
+		case 22773:
+			for _, p := range isp.POPs {
+				cox[p] = true
+			}
+		case 20115, 7843, 20001, 10796:
+			for _, p := range isp.POPs {
+				charter[p] = true
+			}
+		}
+	}
+	if len(cox) != 30 {
+		t.Errorf("Cox metros = %d, want 30", len(cox))
+	}
+	if len(charter) != 71 {
+		t.Errorf("Charter metros = %d, want 71", len(charter))
+	}
+	overlap := 0
+	for p := range cox {
+		if charter[p] {
+			overlap++
+		}
+	}
+	if overlap != 10 {
+		t.Errorf("overlap = %d, want 10", overlap)
+	}
+}
+
+func TestCogentTable3Cities(t *testing.T) {
+	w := smallWorld
+	cogent := w.ispByASN(174)
+	if cogent == nil {
+		t.Fatal("Cogent missing")
+	}
+	declared := map[int]bool{}
+	for _, p := range cogent.DeclaredPOPs() {
+		declared[p] = true
+	}
+	for _, name := range table3Cities {
+		id := w.CityID(name)
+		if id < 0 {
+			t.Fatalf("gazetteer city %q missing", name)
+		}
+		if !w.containsPOP(cogent, id) {
+			t.Errorf("Cogent should have an undeclared PoP in %s", name)
+		}
+		if declared[id] {
+			t.Errorf("%s must NOT be declared (Table 3 scenario)", name)
+		}
+		// A router exists there with a geohint hostname.
+		rt := w.RouterAt(174, id)
+		if rt == nil {
+			t.Errorf("no Cogent router in %s", name)
+		} else if !rt.Geohint || rt.Hostname == "" {
+			t.Errorf("Cogent router in %s lacks geohint hostname: %+v", name, rt)
+		}
+	}
+}
+
+func TestAT7018UsesRocketfuelTopology(t *testing.T) {
+	w := smallWorld
+	att := w.ispByASN(7018)
+	if att == nil {
+		t.Fatal("AT&T missing")
+	}
+	if len(att.Links) != len(rocketfuelEdges) {
+		t.Errorf("AT&T links = %d, want %d", len(att.Links), len(rocketfuelEdges))
+	}
+	wantCities := map[string]bool{}
+	for _, e := range rocketfuelEdges {
+		wantCities[e[0]] = true
+		wantCities[e[1]] = true
+	}
+	if len(att.POPs) != len(wantCities) {
+		t.Errorf("AT&T POPs = %d, want %d", len(att.POPs), len(wantCities))
+	}
+}
+
+func TestIXPs(t *testing.T) {
+	w := smallWorld
+	if len(w.IXPs) == 0 {
+		t.Fatal("no IXPs")
+	}
+	remote, total := 0, 0
+	for _, ix := range w.IXPs {
+		if ix.Prefix.Len != 24 {
+			t.Fatalf("IXP prefix %s not a /24", ix.Prefix)
+		}
+		seenIP := map[uint32]bool{}
+		for _, m := range ix.Members {
+			total++
+			if m.Remote {
+				remote++
+				if m.TrueCity == ix.City {
+					t.Error("remote member with TrueCity at the IXP metro")
+				}
+			}
+			if !ix.Prefix.Contains(m.IP) {
+				t.Fatalf("member IP %d outside IXP LAN %s", m.IP, ix.Prefix)
+			}
+			if seenIP[m.IP] {
+				t.Fatal("duplicate member IP on one LAN")
+			}
+			seenIP[m.IP] = true
+		}
+	}
+	if total == 0 || remote == 0 {
+		t.Errorf("members=%d remote=%d; want both positive", total, remote)
+	}
+	frac := float64(remote) / float64(total)
+	if frac < 0.05 || frac > 0.4 {
+		t.Errorf("remote fraction %.2f outside plausible band", frac)
+	}
+}
+
+func TestCables(t *testing.T) {
+	w := smallWorld
+	if len(w.Cables) == 0 {
+		t.Fatal("no cables")
+	}
+	for _, c := range w.Cables {
+		if len(c.Landings) < 2 {
+			t.Fatalf("cable %s has %d landings", c.Name, len(c.Landings))
+		}
+		for _, l := range c.Landings {
+			if !w.Cities[l].Coastal {
+				t.Fatalf("cable %s lands at non-coastal %s", c.Name, w.Cities[l].Name)
+			}
+		}
+		if len(c.Path) < 2 || c.LengthKm <= 0 {
+			t.Fatalf("cable %s has degenerate path", c.Name)
+		}
+	}
+}
+
+func TestAnchorsAndTraces(t *testing.T) {
+	w := smallWorld
+	if len(w.Anchors) != SmallConfig().NumAnchors {
+		t.Errorf("anchors = %d", len(w.Anchors))
+	}
+	for _, a := range w.Anchors {
+		as := w.ASByNumber(a.ASN)
+		if as == nil {
+			t.Fatal("anchor in unknown AS")
+		}
+		if as.ISP < 0 {
+			t.Fatal("anchor AS must be an infrastructure AS")
+		}
+	}
+	if len(w.Traces) < SmallConfig().TraceroutePairs/2 {
+		t.Errorf("only %d traces synthesized", len(w.Traces))
+	}
+	hiddenTotal, visibleTotal := 0, 0
+	for _, tr := range w.Traces {
+		if len(tr.Hops) < 2 {
+			t.Fatal("trace with fewer than 2 hops")
+		}
+		prev := -1.0
+		for _, h := range tr.Hops {
+			if h.RTTms < prev-2.0 { // jitter may wobble slightly
+				t.Fatalf("RTT strongly decreasing along path: %f after %f", h.RTTms, prev)
+			}
+			prev = h.RTTms
+			if h.Hidden {
+				hiddenTotal++
+			} else {
+				visibleTotal++
+			}
+			if w.ASByNumber(h.ASN) == nil {
+				t.Fatal("hop in unknown AS")
+			}
+		}
+		vis := tr.VisibleHops()
+		for _, h := range vis {
+			if h.Hidden {
+				t.Fatal("VisibleHops leaked a hidden hop")
+			}
+		}
+	}
+	if hiddenTotal == 0 {
+		t.Error("MPLS should hide some hops")
+	}
+	if visibleTotal == 0 {
+		t.Fatal("no visible hops at all")
+	}
+}
+
+func TestGuaranteedTraceroutes(t *testing.T) {
+	w := smallWorld
+	if tr := w.FindTrace("Kansas City", "Atlanta"); tr == nil {
+		t.Error("Kansas City → Atlanta trace missing")
+	} else {
+		// It must transit Cogent (AS174).
+		saw174 := false
+		for _, h := range tr.Hops {
+			if h.ASN == 174 {
+				saw174 = true
+			}
+		}
+		if !saw174 {
+			t.Error("KC→Atlanta trace does not transit AS174")
+		}
+	}
+	if tr := w.FindTrace("Madrid", "Berlin"); tr == nil {
+		t.Error("Madrid → Berlin trace missing")
+	} else {
+		asns := map[int]bool{}
+		for _, h := range tr.Hops {
+			asns[h.ASN] = true
+		}
+		for _, want := range []int{12008, 22822, 20647} {
+			if !asns[want] {
+				t.Errorf("Madrid→Berlin trace missing AS%d (saw %v)", want, asns)
+			}
+		}
+	}
+}
+
+func TestRouterHostnames(t *testing.T) {
+	w := smallWorld
+	withPTR, withHint := 0, 0
+	for _, rt := range w.Routers {
+		if rt.Hostname != "" {
+			withPTR++
+			if rt.Geohint {
+				withHint++
+			}
+		}
+	}
+	if withPTR == 0 || withHint == 0 {
+		t.Fatalf("PTR=%d geohint=%d, want both positive", withPTR, withHint)
+	}
+	// Cogent's routers follow the documented convention with a city code.
+	rt := w.RouterAt(174, w.CityID("Dresden"))
+	if rt == nil {
+		t.Fatal("no Cogent Dresden router")
+	}
+	if rt.Hostname == "" || !contains(rt.Hostname, "drs") || !contains(rt.Hostname, "atlas.cogentco.com") {
+		t.Errorf("Cogent Dresden hostname = %q", rt.Hostname)
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (func() bool {
+		for i := 0; i+len(sub) <= len(s); i++ {
+			if s[i:i+len(sub)] == sub {
+				return true
+			}
+		}
+		return false
+	})()
+}
+
+func TestCityCodesUnique(t *testing.T) {
+	w := smallWorld
+	seen := map[string]bool{}
+	for i := range w.Cities {
+		code := w.CityCodeOf(i)
+		if len(code) != 3 {
+			t.Fatalf("city %d code %q not 3 letters", i, code)
+		}
+		if seen[code] {
+			t.Fatalf("duplicate city code %q", code)
+		}
+		seen[code] = true
+	}
+	// Real gazetteer cities keep their natural derivation.
+	if got := w.CityCodeOf(w.CityID("Dresden")); got != "drs" {
+		t.Errorf("Dresden code = %q, want drs", got)
+	}
+	if w.CityCodeOf(-1) != "xxx" || w.CityCodeOf(1<<30) != "xxx" {
+		t.Error("out-of-range ids should return xxx")
+	}
+}
+
+func TestCityCode(t *testing.T) {
+	cases := []struct{ name, want string }{
+		{"Dresden", "drs"},
+		{"Atlanta", "atl"},
+		{"Oslo", "osl"},
+		{"A", "axx"},
+		{"", "xxx"},
+		{"Aeiou", "aei"},
+	}
+	for _, c := range cases {
+		if got := CityCode(c.name); got != c.want {
+			t.Errorf("CityCode(%q) = %q, want %q", c.name, got, c.want)
+		}
+	}
+}
+
+func TestHostSchemeEmbedsCode(t *testing.T) {
+	w := smallWorld
+	for _, isp := range w.ISPs[:10] {
+		if isp.Domain == "" {
+			continue
+		}
+		rt := (*Router)(nil)
+		for _, p := range isp.POPs {
+			if r := w.RouterAt(isp.ASN, p); r != nil && r.Geohint {
+				rt = r
+				break
+			}
+		}
+		if rt == nil {
+			continue
+		}
+		code := CityCode(w.Cities[rt.City].Name)
+		if !contains(rt.Hostname, code) {
+			t.Errorf("hostname %q missing city code %q", rt.Hostname, code)
+		}
+	}
+}
+
+func TestDeclaredSubset(t *testing.T) {
+	w := smallWorld
+	sawDark := false
+	for _, isp := range w.ISPs {
+		decl := isp.DeclaredPOPs()
+		if isp.Dark {
+			sawDark = true
+			if len(decl) != 0 {
+				t.Fatalf("dark ISP %s declares PoPs", isp.Name)
+			}
+			if isp.InAtlas {
+				t.Fatalf("dark ISP %s in Atlas", isp.Name)
+			}
+			if isp.Domain == "" {
+				t.Fatalf("dark ISP %s has no rDNS domain (must stay discoverable)", isp.Name)
+			}
+			continue
+		}
+		if len(isp.POPs) > 0 && len(decl) == 0 {
+			t.Fatalf("ISP %s (AS%d) declares nothing", isp.Name, isp.ASN)
+		}
+		set := map[int]bool{}
+		for _, p := range isp.POPs {
+			set[p] = true
+		}
+		for _, p := range decl {
+			if !set[p] {
+				t.Fatalf("ISP %s declares a PoP it does not have", isp.Name)
+			}
+		}
+	}
+	if !sawDark {
+		t.Error("no dark ISPs generated")
+	}
+}
+
+func BenchmarkGenerateSmall(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Generate(SmallConfig())
+	}
+}
