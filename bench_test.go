@@ -9,7 +9,10 @@
 package igdb_test
 
 import (
+	"io"
+	"net/http/httptest"
 	"os"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -19,6 +22,7 @@ import (
 	"igdb/internal/geo"
 	"igdb/internal/ingest"
 	"igdb/internal/risk"
+	"igdb/internal/server"
 	"igdb/internal/worldgen"
 )
 
@@ -186,5 +190,79 @@ func BenchmarkPipeline_AnalyzeMesh(b *testing.B) {
 		for _, m := range e.P.Measurements {
 			e.P.AnalyzeTrace(m)
 		}
+	}
+}
+
+// --- serving-layer benchmarks ---
+
+// serveBenchSQL is the paper's Table 2 query (AS country presence), the
+// heaviest read the demo UI issues.
+const serveBenchSQL = `
+	SELECT l.asn, MIN(n.asn_name) AS name, MIN(o.organization) AS org,
+	       COUNT(DISTINCT l.country) AS countries
+	FROM asn_loc l
+	JOIN asn_name n ON n.asn = l.asn AND n.source = 'asrank'
+	JOIN asn_org  o ON o.asn = l.asn AND o.source = 'asrank'
+	GROUP BY l.asn
+	ORDER BY countries DESC, l.asn ASC
+	LIMIT 11`
+
+var (
+	serveOnce  sync.Once
+	serveStore *ingest.Store
+)
+
+func serveBenchStore(b *testing.B) *ingest.Store {
+	b.Helper()
+	serveOnce.Do(func() {
+		w := worldgen.Generate(benchConfig())
+		store := ingest.NewStore("")
+		if err := ingest.Collect(w, store, time.Unix(1780000000, 0).UTC()); err != nil {
+			panic(err)
+		}
+		serveStore = store
+	})
+	return serveStore
+}
+
+// BenchmarkServeSQLThroughput measures the igdb serve read path end to
+// end — HTTP clients included — hammering POST /sql with the Table 2
+// query from many goroutines, with and without the result cache.
+func BenchmarkServeSQLThroughput(b *testing.B) {
+	for _, bc := range []struct {
+		name      string
+		cacheSize int
+	}{
+		{"ResultCache", 256},
+		{"NoResultCache", -1},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			srv, err := server.New(server.Config{
+				Store:     serveBenchStore(b),
+				CacheSize: bc.cacheSize,
+				Logf:      func(string, ...interface{}) {},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ts := httptest.NewServer(srv.Handler())
+			defer ts.Close()
+			b.SetParallelism(8) // ≥8 in-flight clients even on one core
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				client := ts.Client()
+				for pb.Next() {
+					resp, err := client.Post(ts.URL+"/sql", "text/plain", strings.NewReader(serveBenchSQL))
+					if err != nil {
+						b.Fatal(err)
+					}
+					_, _ = io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode != 200 {
+						b.Fatalf("POST /sql = %d", resp.StatusCode)
+					}
+				}
+			})
+		})
 	}
 }

@@ -1,7 +1,8 @@
 // Command igdb is the Internet Geographic Database toolkit: it collects
 // timestamped snapshots from the (emulated) input sources, builds the
 // cross-layer database, runs SQL analyses over it, audits cross-layer
-// consistency, and exports GIS layers as GeoJSON or SVG.
+// consistency, exports GIS layers as GeoJSON or SVG, and serves the built
+// database over HTTP.
 //
 // Usage:
 //
@@ -11,9 +12,12 @@
 //	igdb sql     -dir DIR 'SELECT ...'
 //	igdb tables  -dir DIR
 //	igdb export  -dir DIR -layer LAYER [-format geojson|svg] [-o FILE]
+//	igdb analyze -dir DIR [-as-of YYYY-MM-DD]
+//	igdb serve   -dir DIR [-addr :8080] [-rebuild-every DUR]
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
@@ -21,7 +25,6 @@ import (
 	"time"
 
 	"igdb/internal/core"
-	"igdb/internal/geo"
 	"igdb/internal/ingest"
 	"igdb/internal/paths"
 	"igdb/internal/render"
@@ -50,6 +53,8 @@ func main() {
 		err = cmdExport(os.Args[2:])
 	case "analyze":
 		err = cmdAnalyze(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -74,6 +79,7 @@ commands:
   tables    list relations and row counts
   export    export a layer as GeoJSON or SVG
   analyze   fuse the traceroute mesh into ip_asn_dns and summarize it
+  serve     serve the built database over HTTP (read-only SQL API)
 
 run 'igdb COMMAND -h' for command flags
 `)
@@ -281,103 +287,19 @@ func cmdExport(args []string) error {
 	return os.WriteFile(*out, data, 0o644)
 }
 
-// layerGeometries yields (wkt geometry, properties) pairs for a layer.
-func layerGeometries(g *core.IGDB, layer string, yield func(wkt.Geometry, map[string]interface{}) error) error {
-	switch layer {
-	case "phys_nodes":
-		rows := g.Rel.MustQuery(`SELECT node_name, organization, metro, country, longitude, latitude FROM phys_nodes`)
-		for _, r := range rows.Rows {
-			name, _ := r[0].AsText()
-			org, _ := r[1].AsText()
-			metro, _ := r[2].AsText()
-			country, _ := r[3].AsText()
-			lon, _ := r[4].AsFloat()
-			lat, _ := r[5].AsFloat()
-			err := yield(wkt.NewPoint(geo.Point{Lon: lon, Lat: lat}),
-				map[string]interface{}{"name": name, "organization": org, "metro": metro, "country": country})
-			if err != nil {
-				return err
-			}
-		}
-	case "std_paths":
-		rows := g.Rel.MustQuery(`SELECT from_metro, to_metro, distance_km, path_wkt FROM std_paths`)
-		for _, r := range rows.Rows {
-			from, _ := r[0].AsText()
-			to, _ := r[1].AsText()
-			km, _ := r[2].AsFloat()
-			s, _ := r[3].AsText()
-			geomW, err := wkt.Parse(s)
-			if err != nil {
-				continue
-			}
-			if err := yield(geomW, map[string]interface{}{"from": from, "to": to, "km": km}); err != nil {
-				return err
-			}
-		}
-	case "sub_cables":
-		rows := g.Rel.MustQuery(`SELECT cable_name, length_km, cable_wkt FROM sub_cables`)
-		for _, r := range rows.Rows {
-			name, _ := r[0].AsText()
-			km, _ := r[1].AsFloat()
-			s, _ := r[2].AsText()
-			geomW, err := wkt.Parse(s)
-			if err != nil {
-				continue
-			}
-			if err := yield(geomW, map[string]interface{}{"name": name, "km": km}); err != nil {
-				return err
-			}
-		}
-	case "city_points":
-		rows := g.Rel.MustQuery(`SELECT city, country, longitude, latitude, population FROM city_points`)
-		for _, r := range rows.Rows {
-			city, _ := r[0].AsText()
-			country, _ := r[1].AsText()
-			lon, _ := r[2].AsFloat()
-			lat, _ := r[3].AsFloat()
-			pop, _ := r[4].AsInt()
-			err := yield(wkt.NewPoint(geo.Point{Lon: lon, Lat: lat}),
-				map[string]interface{}{"city": city, "country": country, "population": pop})
-			if err != nil {
-				return err
-			}
-		}
-	case "city_polygons":
-		rows := g.Rel.MustQuery(`SELECT city, country, geom FROM city_polygons`)
-		for _, r := range rows.Rows {
-			city, _ := r[0].AsText()
-			country, _ := r[1].AsText()
-			s, _ := r[2].AsText()
-			geomW, err := wkt.Parse(s)
-			if err != nil {
-				continue
-			}
-			if err := yield(geomW, map[string]interface{}{"city": city, "country": country}); err != nil {
-				return err
-			}
-		}
-	default:
-		return fmt.Errorf("unknown layer %q", layer)
-	}
-	return nil
-}
-
 func exportGeoJSON(g *core.IGDB, layer string) ([]byte, error) {
-	var fc render.FeatureCollection
-	err := layerGeometries(g, layer, func(geom wkt.Geometry, props map[string]interface{}) error {
-		return fc.Add(geom, props)
-	})
-	if err != nil {
+	var buf bytes.Buffer
+	if _, err := render.WriteLayerGeoJSON(&buf, g.Rel, layer); err != nil {
 		return nil, err
 	}
-	return fc.Marshal()
+	return buf.Bytes(), nil
 }
 
 func exportSVG(g *core.IGDB, layer string) ([]byte, error) {
 	m := render.NewWorldMap(1600, 800)
 	m.SetTitle("iGDB layer: " + layer)
 	style := render.Style{Stroke: "#2980b9", StrokeWidth: 0.5, Fill: "#e67e22", Radius: 1.5}
-	err := layerGeometries(g, layer, func(geom wkt.Geometry, props map[string]interface{}) error {
+	err := render.LayerFeatures(g.Rel, layer, func(geom wkt.Geometry, props map[string]interface{}) error {
 		m.Geometry(geom, style)
 		return nil
 	})

@@ -1,0 +1,135 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestMain lets the compiled test binary double as the igdb CLI: when
+// re-executed with IGDB_E2E_CHILD=1 it runs main() against the real
+// os.Args, so the e2e tests below exercise the same dispatch, flag
+// parsing, and exit codes as the shipped binary.
+func TestMain(m *testing.M) {
+	if os.Getenv("IGDB_E2E_CHILD") == "1" {
+		main()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+// runCLI re-executes the test binary as the igdb CLI and returns the
+// captured stdout, stderr, and exit code.
+func runCLI(t *testing.T, args ...string) (string, string, int) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "IGDB_E2E_CHILD=1")
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	code := 0
+	if err != nil {
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("running %v: %v", args, err)
+		}
+		code = ee.ExitCode()
+	}
+	return stdout.String(), stderr.String(), code
+}
+
+// TestEndToEnd drives the full CLI lifecycle against one temporary
+// store: collect → build → check → sql, with a fixed seed so the row
+// counts observed by build and by SQL must agree.
+func TestEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e test re-executes the binary repeatedly")
+	}
+	dir := t.TempDir()
+
+	// collect: seed a small deterministic world into the store.
+	stdout, stderr, code := runCLI(t, "collect", "-dir", dir, "-scale", "small", "-seed", "42")
+	if code != 0 {
+		t.Fatalf("collect exited %d: %s%s", code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "collected") {
+		t.Fatalf("collect stdout = %q", stdout)
+	}
+
+	// build: prints the relation inventory; remember each row count.
+	stdout, stderr, code = runCLI(t, "build", "-dir", dir)
+	if code != 0 {
+		t.Fatalf("build exited %d: %s%s", code, stdout, stderr)
+	}
+	counts := map[string]int{}
+	for _, line := range strings.Split(stdout, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) != 2 || fields[0] == "relation" {
+			continue
+		}
+		n, err := strconv.Atoi(fields[1])
+		if err != nil {
+			continue
+		}
+		counts[fields[0]] = n
+	}
+	for _, table := range []string{"asn_loc", "asn_name", "asn_org", "phys_nodes", "std_paths"} {
+		if counts[table] == 0 {
+			t.Errorf("build reported no rows for %s (counts: %v)", table, counts)
+		}
+	}
+
+	// check: the generated world must pass the cross-layer audit.
+	stdout, stderr, code = runCLI(t, "check", "-dir", dir)
+	if code != 0 {
+		t.Fatalf("check exited %d: %s%s", code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "cross-layer consistency: OK") {
+		t.Fatalf("check stdout = %q", stdout)
+	}
+
+	// sql: COUNT(*) must agree with the inventory build printed.
+	stdout, stderr, code = runCLI(t, "sql", "-dir", dir, `SELECT COUNT(*) FROM asn_loc`)
+	if code != 0 {
+		t.Fatalf("sql exited %d: %s%s", code, stdout, stderr)
+	}
+	lines := strings.Split(strings.TrimSpace(stdout), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("sql stdout = %q", stdout)
+	}
+	got, err := strconv.Atoi(strings.TrimSpace(lines[1]))
+	if err != nil || got != counts["asn_loc"] {
+		t.Fatalf("sql COUNT(*) = %q, build said %d", lines[1], counts["asn_loc"])
+	}
+	if !strings.Contains(stderr, "(1 rows)") {
+		t.Fatalf("sql stderr = %q", stderr)
+	}
+}
+
+// TestCLIExitCodes checks the documented failure modes: unknown
+// commands exit 2, run-time errors exit 1.
+func TestCLIExitCodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e test re-executes the binary repeatedly")
+	}
+	if _, stderr, code := runCLI(t, "frobnicate"); code != 2 || !strings.Contains(stderr, "unknown command") {
+		t.Errorf("unknown command: code=%d stderr=%q", code, stderr)
+	}
+	if _, stderr, code := runCLI(t, "build"); code != 1 || !strings.Contains(stderr, "-dir is required") {
+		t.Errorf("build without -dir: code=%d stderr=%q", code, stderr)
+	}
+	if _, stderr, code := runCLI(t, "build", "-dir", t.TempDir()); code != 1 {
+		t.Errorf("build on empty store: code=%d stderr=%q", code, stderr)
+	}
+	dir := t.TempDir()
+	if _, _, code := runCLI(t, "collect", "-dir", dir, "-seed", "7"); code != 0 {
+		t.Fatalf("collect exited %d", code)
+	}
+	if _, stderr, code := runCLI(t, "sql", "-dir", dir, `SELEKT nonsense`); code != 1 || stderr == "" {
+		t.Errorf("bad sql: code=%d stderr=%q", code, stderr)
+	}
+}

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"igdb/internal/server"
+)
+
+// cmdServe builds the database once and serves concurrent read-only HTTP
+// traffic against it: POST /sql, GET /tables, GET /export/{layer},
+// GET /footprint/{asn}, GET /path, GET /healthz, GET /metrics, and
+// POST /admin/rebuild for an atomic snapshot swap without blocking readers.
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	dir := fs.String("dir", "", "snapshot store directory")
+	asOf := fs.String("as-of", "", "build as of date (YYYY-MM-DD, default newest)")
+	addr := fs.String("addr", ":8080", "listen address")
+	rebuildEvery := fs.Duration("rebuild-every", 0, "re-ingest the store and swap the snapshot on this period (0 = only via POST /admin/rebuild)")
+	maxConc := fs.Int("max-concurrency", 64, "maximum simultaneously executing requests")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-request deadline")
+	cacheSize := fs.Int("cache-size", 256, "per-snapshot LRU size for plan and result caches (negative disables the result cache)")
+	maxRows := fs.Int("max-rows", 10000, "maximum rows returned by one /sql call")
+	_ = fs.Parse(args)
+	if *dir == "" {
+		return fmt.Errorf("-dir is required")
+	}
+	cfg := server.Config{
+		Dir:            *dir,
+		Addr:           *addr,
+		RebuildEvery:   *rebuildEvery,
+		MaxConcurrency: *maxConc,
+		RequestTimeout: *timeout,
+		CacheSize:      *cacheSize,
+		MaxResultRows:  *maxRows,
+	}
+	if *asOf != "" {
+		t, err := time.Parse("2006-01-02", *asOf)
+		if err != nil {
+			return fmt.Errorf("bad -as-of: %v", err)
+		}
+		cfg.AsOf = t.Add(24*time.Hour - time.Second)
+	}
+	t0 := time.Now()
+	srv, err := server.New(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("built snapshot %d in %v; serving on %s\n",
+		srv.SnapshotSeq(), time.Since(t0).Round(time.Millisecond), *addr)
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if err := srv.Run(ctx); err != nil && err != http.ErrServerClosed {
+		return err
+	}
+	return nil
+}

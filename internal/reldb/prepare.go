@@ -1,0 +1,73 @@
+package reldb
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrNotSelect is returned by Prepare (and wrapped by Classify callers) when
+// a statement parses correctly but is not a read-only SELECT. Servers use it
+// to distinguish "forbidden statement type" from "malformed SQL".
+var ErrNotSelect = errors.New("reldb: statement is not a SELECT")
+
+// Stmt is a prepared SELECT: the SQL text is lexed and parsed exactly once,
+// then the cached plan can be executed any number of times (concurrently)
+// without re-parsing. Statements are bound to the DB that prepared them.
+//
+// A Stmt sees the table contents current at each Query call, not at Prepare
+// time; it is a cached plan, not a snapshot.
+type Stmt struct {
+	db  *DB
+	sel *SelectStmt
+	sql string
+}
+
+// Prepare parses a SELECT once and returns a reusable statement. Any other
+// statement type returns ErrNotSelect; malformed SQL returns the parse
+// error. Safe for concurrent use, like all DB methods.
+func (db *DB) Prepare(sql string) (*Stmt, error) {
+	st, err := ParseStatement(sql)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := st.(*SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("%w (got %s)", ErrNotSelect, StatementKind(st))
+	}
+	return &Stmt{db: db, sel: sel, sql: sql}, nil
+}
+
+// Query executes the prepared plan against the current table contents. The
+// plan is shared and never mutated by execution, so concurrent Query calls
+// on one Stmt are safe.
+func (s *Stmt) Query() (*Rows, error) {
+	s.db.mu.RLock()
+	defer s.db.mu.RUnlock()
+	return s.db.execSelect(s.sel)
+}
+
+// SQL returns the statement text the plan was prepared from.
+func (s *Stmt) SQL() string { return s.sql }
+
+// StatementKind names a parsed statement's type ("SELECT", "INSERT", ...),
+// for error messages and statement-type gating.
+func StatementKind(st Statement) string {
+	switch st.(type) {
+	case *SelectStmt:
+		return "SELECT"
+	case *InsertStmt:
+		return "INSERT"
+	case *UpdateStmt:
+		return "UPDATE"
+	case *DeleteStmt:
+		return "DELETE"
+	case *CreateTableStmt:
+		return "CREATE TABLE"
+	case *CreateIndexStmt:
+		return "CREATE INDEX"
+	case *DropTableStmt:
+		return "DROP TABLE"
+	default:
+		return fmt.Sprintf("%T", st)
+	}
+}

@@ -159,6 +159,24 @@ func (v Value) AsBool() (bool, bool) {
 	}
 }
 
+// Interface returns the value as the native Go type JSON encoders expect:
+// nil for NULL, int64, float64, string, or bool. Unlike the As* accessors it
+// preserves the stored kind (Text("12") stays a string).
+func (v Value) Interface() interface{} {
+	switch v.kind {
+	case kindInt:
+		return v.i
+	case kindFloat:
+		return v.f
+	case kindText:
+		return v.s
+	case kindBool:
+		return v.b
+	default:
+		return nil
+	}
+}
+
 // String renders the value for display.
 func (v Value) String() string {
 	if v.kind == kindNull {

@@ -1,0 +1,193 @@
+package render
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"igdb/internal/geo"
+	"igdb/internal/reldb"
+	"igdb/internal/wkt"
+)
+
+// layerNames lists the exportable GIS layers, each backed by one Figure 2
+// relation. Order is the documented CLI/HTTP order.
+var layerNames = []string{"phys_nodes", "std_paths", "sub_cables", "city_points", "city_polygons"}
+
+// Layers returns the names of the exportable GIS layers.
+func Layers() []string {
+	out := make([]string, len(layerNames))
+	copy(out, layerNames)
+	return out
+}
+
+// LayerFeatures iterates a layer's (geometry, properties) features straight
+// from the built database's relations, yielding each feature in relation
+// order. Rows whose stored WKT fails to parse are skipped, matching the
+// forgiving behaviour GIS exports need.
+func LayerFeatures(db *reldb.DB, layer string, yield func(wkt.Geometry, map[string]interface{}) error) error {
+	switch layer {
+	case "phys_nodes":
+		rows, err := db.Query(`SELECT node_name, organization, metro, country, longitude, latitude FROM phys_nodes`)
+		if err != nil {
+			return err
+		}
+		for _, r := range rows.Rows {
+			name, _ := r[0].AsText()
+			org, _ := r[1].AsText()
+			metro, _ := r[2].AsText()
+			country, _ := r[3].AsText()
+			lon, _ := r[4].AsFloat()
+			lat, _ := r[5].AsFloat()
+			err := yield(wkt.NewPoint(geo.Point{Lon: lon, Lat: lat}),
+				map[string]interface{}{"name": name, "organization": org, "metro": metro, "country": country})
+			if err != nil {
+				return err
+			}
+		}
+	case "std_paths":
+		rows, err := db.Query(`SELECT from_metro, to_metro, distance_km, path_wkt FROM std_paths`)
+		if err != nil {
+			return err
+		}
+		for _, r := range rows.Rows {
+			from, _ := r[0].AsText()
+			to, _ := r[1].AsText()
+			km, _ := r[2].AsFloat()
+			s, _ := r[3].AsText()
+			geomW, err := wkt.Parse(s)
+			if err != nil {
+				continue
+			}
+			if err := yield(geomW, map[string]interface{}{"from": from, "to": to, "km": km}); err != nil {
+				return err
+			}
+		}
+	case "sub_cables":
+		rows, err := db.Query(`SELECT cable_name, length_km, cable_wkt FROM sub_cables`)
+		if err != nil {
+			return err
+		}
+		for _, r := range rows.Rows {
+			name, _ := r[0].AsText()
+			km, _ := r[1].AsFloat()
+			s, _ := r[2].AsText()
+			geomW, err := wkt.Parse(s)
+			if err != nil {
+				continue
+			}
+			if err := yield(geomW, map[string]interface{}{"name": name, "km": km}); err != nil {
+				return err
+			}
+		}
+	case "city_points":
+		rows, err := db.Query(`SELECT city, country, longitude, latitude, population FROM city_points`)
+		if err != nil {
+			return err
+		}
+		for _, r := range rows.Rows {
+			city, _ := r[0].AsText()
+			country, _ := r[1].AsText()
+			lon, _ := r[2].AsFloat()
+			lat, _ := r[3].AsFloat()
+			pop, _ := r[4].AsInt()
+			err := yield(wkt.NewPoint(geo.Point{Lon: lon, Lat: lat}),
+				map[string]interface{}{"city": city, "country": country, "population": pop})
+			if err != nil {
+				return err
+			}
+		}
+	case "city_polygons":
+		rows, err := db.Query(`SELECT city, country, geom FROM city_polygons`)
+		if err != nil {
+			return err
+		}
+		for _, r := range rows.Rows {
+			city, _ := r[0].AsText()
+			country, _ := r[1].AsText()
+			s, _ := r[2].AsText()
+			geomW, err := wkt.Parse(s)
+			if err != nil {
+				continue
+			}
+			if err := yield(geomW, map[string]interface{}{"city": city, "country": country}); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("render: unknown layer %q", layer)
+	}
+	return nil
+}
+
+// FeatureWriter streams a GeoJSON FeatureCollection to an io.Writer one
+// feature at a time, so an HTTP handler never buffers the whole document.
+// Call Close to emit the footer; Add after Close is an error.
+type FeatureWriter struct {
+	w      io.Writer
+	n      int
+	closed bool
+}
+
+// NewFeatureWriter writes the FeatureCollection header and returns a writer
+// ready for Add calls.
+func NewFeatureWriter(w io.Writer) (*FeatureWriter, error) {
+	if _, err := io.WriteString(w, `{"type":"FeatureCollection","features":[`); err != nil {
+		return nil, err
+	}
+	return &FeatureWriter{w: w}, nil
+}
+
+// Add streams one feature; properties may be nil.
+func (fw *FeatureWriter) Add(g wkt.Geometry, props map[string]interface{}) error {
+	if fw.closed {
+		return fmt.Errorf("render: FeatureWriter is closed")
+	}
+	gj, err := geometryJSON(g)
+	if err != nil {
+		return err
+	}
+	if props == nil {
+		props = map[string]interface{}{}
+	}
+	body, err := json.Marshal(feature{Type: "Feature", Geometry: gj, Properties: props})
+	if err != nil {
+		return err
+	}
+	if fw.n > 0 {
+		if _, err := io.WriteString(fw.w, ","); err != nil {
+			return err
+		}
+	}
+	if _, err := fw.w.Write(body); err != nil {
+		return err
+	}
+	fw.n++
+	return nil
+}
+
+// Len returns the number of features streamed so far.
+func (fw *FeatureWriter) Len() int { return fw.n }
+
+// Close writes the FeatureCollection footer.
+func (fw *FeatureWriter) Close() error {
+	if fw.closed {
+		return nil
+	}
+	fw.closed = true
+	_, err := io.WriteString(fw.w, `]}`)
+	return err
+}
+
+// WriteLayerGeoJSON streams one layer as a GeoJSON FeatureCollection,
+// returning the feature count.
+func WriteLayerGeoJSON(w io.Writer, db *reldb.DB, layer string) (int, error) {
+	fw, err := NewFeatureWriter(w)
+	if err != nil {
+		return 0, err
+	}
+	if err := LayerFeatures(db, layer, fw.Add); err != nil {
+		return fw.Len(), err
+	}
+	return fw.Len(), fw.Close()
+}

@@ -1,0 +1,107 @@
+package server
+
+import (
+	"container/list"
+	"strings"
+	"sync"
+)
+
+// lruCache is a small mutex-guarded LRU keyed by string. The server keeps
+// one plan cache (normalized SQL → prepared statement) and one result cache
+// (normalized SQL → encoded result) per database snapshot, so a snapshot
+// swap implicitly invalidates everything derived from the old tables.
+type lruCache[V any] struct {
+	mu      sync.Mutex
+	max     int
+	entries map[string]*list.Element
+	order   *list.List // front = most recently used
+}
+
+type lruEntry[V any] struct {
+	key string
+	val V
+}
+
+func newLRU[V any](max int) *lruCache[V] {
+	if max < 1 {
+		max = 1
+	}
+	return &lruCache[V]{
+		max:     max,
+		entries: make(map[string]*list.Element, max),
+		order:   list.New(),
+	}
+}
+
+// Get returns the cached value and promotes it to most-recent.
+func (c *lruCache[V]) Get(key string) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry[V]).val, true
+}
+
+// Put inserts or refreshes a value, evicting the least-recent entry when
+// over capacity.
+func (c *lruCache[V]) Put(key string, val V) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*lruEntry[V]).val = val
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&lruEntry[V]{key: key, val: val})
+	if c.order.Len() > c.max {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*lruEntry[V]).key)
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *lruCache[V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// normalizeSQL canonicalizes a statement for cache keying: whitespace runs
+// outside string literals collapse to single spaces and one trailing
+// semicolon is dropped. Whitespace inside 'quoted literals' is preserved —
+// queries differing only inside a literal must not share a cache key.
+func normalizeSQL(sql string) string {
+	var b strings.Builder
+	b.Grow(len(sql))
+	inStr := false
+	pendingSpace := false
+	for i := 0; i < len(sql); i++ {
+		ch := sql[i]
+		if inStr {
+			b.WriteByte(ch)
+			if ch == '\'' {
+				inStr = false
+			}
+			continue
+		}
+		switch ch {
+		case ' ', '\t', '\n', '\r', '\f', '\v':
+			pendingSpace = true
+		default:
+			if pendingSpace && b.Len() > 0 {
+				b.WriteByte(' ')
+			}
+			pendingSpace = false
+			b.WriteByte(ch)
+			if ch == '\'' {
+				inStr = true
+			}
+		}
+	}
+	return strings.TrimSpace(strings.TrimSuffix(b.String(), ";"))
+}

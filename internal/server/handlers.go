@@ -1,0 +1,374 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"igdb/internal/geo"
+	"igdb/internal/reldb"
+	"igdb/internal/render"
+	"igdb/internal/wkt"
+)
+
+// maxSQLBody bounds the POST /sql request body.
+const maxSQLBody = 1 << 20
+
+// sqlResult is the cacheable part of a query response.
+type sqlResult struct {
+	Columns   []string        `json:"columns"`
+	Rows      [][]interface{} `json:"rows"`
+	RowCount  int             `json:"row_count"` // pre-truncation count
+	Truncated bool            `json:"truncated,omitempty"`
+}
+
+// sqlResponse is the full POST /sql envelope.
+type sqlResponse struct {
+	sqlResult
+	Cached      bool    `json:"cached"`
+	SnapshotSeq uint64  `json:"snapshot_seq"`
+	ElapsedMs   float64 `json:"elapsed_ms"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...interface{}) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// readSQL extracts the statement from a raw-text or {"sql": "..."} body.
+func readSQL(r *http.Request) (string, error) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxSQLBody+1))
+	if err != nil {
+		return "", fmt.Errorf("reading body: %v", err)
+	}
+	if len(body) > maxSQLBody {
+		return "", fmt.Errorf("statement exceeds %d bytes", maxSQLBody)
+	}
+	trimmed := strings.TrimSpace(string(body))
+	if strings.HasPrefix(trimmed, "{") {
+		var req struct {
+			SQL string `json:"sql"`
+		}
+		if err := json.Unmarshal(body, &req); err != nil {
+			return "", fmt.Errorf("bad JSON body: %v", err)
+		}
+		trimmed = strings.TrimSpace(req.SQL)
+	}
+	if trimmed == "" {
+		return "", fmt.Errorf("empty statement")
+	}
+	return trimmed, nil
+}
+
+// handleSQL serves POST /sql: read-only SELECT against the current
+// snapshot, with plan and result caching. DDL/DML is refused with 403
+// before touching the database.
+func (s *Server) handleSQL(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
+	sql, err := readSQL(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	norm := normalizeSQL(sql)
+	snap := s.current()
+
+	if snap.results != nil {
+		if res, ok := snap.results.Get(norm); ok {
+			s.metrics.resultHits.Add(1)
+			writeJSON(w, http.StatusOK, sqlResponse{
+				sqlResult:   *res,
+				Cached:      true,
+				SnapshotSeq: snap.seq,
+				ElapsedMs:   float64(time.Since(t0)) / float64(time.Millisecond),
+			})
+			return
+		}
+	}
+
+	stmt, ok := snap.plans.Get(norm)
+	if ok {
+		s.metrics.planHits.Add(1)
+	} else {
+		s.metrics.planMisses.Add(1)
+		stmt, err = snap.g.Rel.Prepare(norm)
+		if errors.Is(err, reldb.ErrNotSelect) {
+			writeError(w, http.StatusForbidden, "read-only API: %v", err)
+			return
+		}
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		snap.plans.Put(norm, stmt)
+	}
+	if snap.results != nil {
+		// Counted here, not at lookup time, so rejected writes and parse
+		// errors — which can never produce a cacheable result — do not
+		// drag the hit rate down.
+		s.metrics.resultMisses.Add(1)
+	}
+
+	// Execute off the handler goroutine so a per-request deadline can fire
+	// even though reldb execution is not context-aware. A timed-out query
+	// runs to completion in the background; the limiter slot is held by the
+	// handler, so abandoned queries cannot pile up unboundedly.
+	type outcome struct {
+		rows *reldb.Rows
+		err  error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		rows, qerr := stmt.Query()
+		done <- outcome{rows, qerr}
+	}()
+	var rows *reldb.Rows
+	select {
+	case out := <-done:
+		if out.err != nil {
+			writeError(w, http.StatusBadRequest, "%v", out.err)
+			return
+		}
+		rows = out.rows
+	case <-r.Context().Done():
+		s.metrics.rejected.Add(1)
+		writeError(w, http.StatusGatewayTimeout, "query exceeded the request deadline")
+		return
+	}
+
+	res := &sqlResult{Columns: rows.Columns, RowCount: rows.Len()}
+	n := rows.Len()
+	if n > s.cfg.MaxResultRows {
+		n = s.cfg.MaxResultRows
+		res.Truncated = true
+	}
+	res.Rows = make([][]interface{}, n)
+	for i := 0; i < n; i++ {
+		row := make([]interface{}, len(rows.Rows[i]))
+		for j, v := range rows.Rows[i] {
+			row[j] = v.Interface()
+		}
+		res.Rows[i] = row
+	}
+	if snap.results != nil {
+		snap.results.Put(norm, res)
+	}
+	writeJSON(w, http.StatusOK, sqlResponse{
+		sqlResult:   *res,
+		SnapshotSeq: snap.seq,
+		ElapsedMs:   float64(time.Since(t0)) / float64(time.Millisecond),
+	})
+}
+
+// handleTables serves GET /tables: relation names and row counts.
+func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
+	snap := s.current()
+	type tableInfo struct {
+		Name string `json:"name"`
+		Rows int    `json:"rows"`
+	}
+	var tables []tableInfo
+	for _, name := range snap.g.Rel.TableNames() {
+		tables = append(tables, tableInfo{Name: name, Rows: snap.g.Rel.Table(name).Len()})
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"tables":       tables,
+		"snapshot_seq": snap.seq,
+	})
+}
+
+// handleExport serves GET /export/{layer}: one GIS layer streamed as
+// GeoJSON, never buffering the whole document.
+func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
+	layer := r.PathValue("layer")
+	known := false
+	for _, l := range render.Layers() {
+		if l == layer {
+			known = true
+			break
+		}
+	}
+	if !known {
+		writeError(w, http.StatusNotFound, "unknown layer %q (have %s)", layer, strings.Join(render.Layers(), ", "))
+		return
+	}
+	snap := s.current()
+	w.Header().Set("Content-Type", "application/geo+json")
+	if _, err := render.WriteLayerGeoJSON(w, snap.g.Rel, layer); err != nil {
+		// Headers are already out; all we can do is log.
+		s.cfg.Logf("igdb-serve: export %s: %v", layer, err)
+	}
+}
+
+// handleFootprint serves GET /footprint/{asn}: the §4.1 geographic spatial
+// extent of one AS — names, organizations, and located metros from asn_loc.
+func (s *Server) handleFootprint(w http.ResponseWriter, r *http.Request) {
+	asn, err := strconv.Atoi(r.PathValue("asn"))
+	if err != nil || asn < 0 {
+		writeError(w, http.StatusBadRequest, "bad ASN %q", r.PathValue("asn"))
+		return
+	}
+	snap := s.current()
+	texts := func(sql string) []string {
+		rows, qerr := snap.g.Rel.Query(sql)
+		if qerr != nil {
+			return nil
+		}
+		var out []string
+		for _, row := range rows.Rows {
+			if t, ok := row[0].AsText(); ok && t != "" {
+				out = append(out, t)
+			}
+		}
+		return out
+	}
+	names := texts(fmt.Sprintf(`SELECT DISTINCT asn_name FROM asn_name WHERE asn = %d ORDER BY asn_name`, asn))
+	orgs := texts(fmt.Sprintf(`SELECT DISTINCT organization FROM asn_org WHERE asn = %d ORDER BY organization`, asn))
+
+	locRows, err := snap.g.Rel.Query(fmt.Sprintf(
+		`SELECT DISTINCT metro, state_province, country, remote FROM asn_loc
+		 WHERE asn = %d ORDER BY country, metro`, asn))
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	type metroInfo struct {
+		Metro   string  `json:"metro"`
+		State   string  `json:"state,omitempty"`
+		Country string  `json:"country"`
+		Lon     float64 `json:"lon"`
+		Lat     float64 `json:"lat"`
+		Remote  bool    `json:"remote,omitempty"`
+	}
+	metros := make([]metroInfo, 0, locRows.Len())
+	countries := map[string]bool{}
+	for _, row := range locRows.Rows {
+		metro, _ := row[0].AsText()
+		state, _ := row[1].AsText()
+		country, _ := row[2].AsText()
+		remote, _ := row[3].AsBool()
+		mi := metroInfo{Metro: metro, State: state, Country: country, Remote: remote}
+		if idx := snap.g.CityIndex(metro, state, country); idx >= 0 {
+			loc := snap.g.CityLoc(idx)
+			mi.Lon, mi.Lat = loc.Lon, loc.Lat
+		}
+		countries[country] = true
+		metros = append(metros, mi)
+	}
+	if len(metros) == 0 && len(names) == 0 && len(orgs) == 0 {
+		writeError(w, http.StatusNotFound, "AS%d is not in the database", asn)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"asn":           asn,
+		"names":         names,
+		"organizations": orgs,
+		"countries":     len(countries),
+		"metros":        metros,
+		"snapshot_seq":  snap.seq,
+	})
+}
+
+// handlePath serves GET /path?src=City-CC&dst=City-CC: the §4.2 shortest
+// practical physical path between two metros, recovered through the paths
+// pipeline and returned as GeoJSON.
+func (s *Server) handlePath(w http.ResponseWriter, r *http.Request) {
+	src := r.URL.Query().Get("src")
+	dst := r.URL.Query().Get("dst")
+	if src == "" || dst == "" {
+		writeError(w, http.StatusBadRequest, "src and dst query parameters are required (metro labels like Austin-US)")
+		return
+	}
+	snap := s.current()
+	a := snap.g.MetroIndex(src)
+	b := snap.g.MetroIndex(dst)
+	if a < 0 {
+		writeError(w, http.StatusNotFound, "unknown metro %q", src)
+		return
+	}
+	if b < 0 {
+		writeError(w, http.StatusNotFound, "unknown metro %q", dst)
+		return
+	}
+	cities, km, ok := snap.g.Paths.ShortestPracticalPath(a, b)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no physical path between %q and %q", src, dst)
+		return
+	}
+	line, routeKm := snap.pipe.InferredRoute([]int{a, b})
+	if len(line) < 2 {
+		writeError(w, http.StatusNotFound, "no route geometry between %q and %q", src, dst)
+		return
+	}
+	via := make([]string, len(cities))
+	for i, c := range cities {
+		via[i] = snap.g.Cities[c].Metro()
+	}
+	straight := geo.Haversine(snap.g.CityLoc(a), snap.g.CityLoc(b))
+	props := map[string]interface{}{
+		"src":          src,
+		"dst":          dst,
+		"km":           routeKm,
+		"shortest_km":  km,
+		"straight_km":  straight,
+		"via":          via,
+		"snapshot_seq": snap.seq,
+	}
+	w.Header().Set("Content-Type", "application/geo+json")
+	fw, err := render.NewFeatureWriter(w)
+	if err != nil {
+		return
+	}
+	if err := fw.Add(wkt.NewLineString(line), props); err != nil {
+		s.cfg.Logf("igdb-serve: path export: %v", err)
+		return
+	}
+	_ = fw.Close()
+}
+
+// handleRebuild serves POST /admin/rebuild: synchronous re-ingest + atomic
+// snapshot swap. 409 when a rebuild is already running.
+func (s *Server) handleRebuild(w http.ResponseWriter, r *http.Request) {
+	seq, buildTime, started, err := s.TryRebuild()
+	if !started {
+		writeError(w, http.StatusConflict, "rebuild already in progress")
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"snapshot_seq": seq,
+		"build_ms":     float64(buildTime) / float64(time.Millisecond),
+	})
+}
+
+// handleHealthz serves GET /healthz.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	snap := s.current()
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"status":         "ok",
+		"snapshot_seq":   snap.seq,
+		"snapshot_age_s": time.Since(snap.builtAt).Seconds(),
+		"tables":         len(snap.g.Rel.TableNames()),
+	})
+}
+
+// handleMetrics serves GET /metrics in Prometheus text format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := s.current()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.metrics.WriteTo(w, snap.seq, time.Since(snap.builtAt), snap.buildTime)
+}

@@ -1,0 +1,136 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBuckets are the histogram upper bounds in milliseconds. The +Inf
+// bucket is implicit (the total count).
+var latencyBuckets = []float64{0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500}
+
+// routeStats are per-endpoint counters.
+type routeStats struct {
+	requests atomic.Uint64
+	errors   atomic.Uint64 // responses with status >= 400
+}
+
+// Metrics aggregates the server's observability counters. All updates are
+// lock-free atomics; the registry map is fixed at construction.
+type Metrics struct {
+	mu     sync.Mutex
+	routes map[string]*routeStats
+
+	latCounts []atomic.Uint64 // one per latencyBuckets entry
+	latCount  atomic.Uint64
+	latSumUs  atomic.Uint64 // total microseconds
+
+	resultHits   atomic.Uint64
+	resultMisses atomic.Uint64
+	planHits     atomic.Uint64
+	planMisses   atomic.Uint64
+
+	rebuilds      atomic.Uint64
+	rebuildErrors atomic.Uint64
+	panics        atomic.Uint64
+	rejected      atomic.Uint64 // limiter/timeout rejections (503/504)
+	inflight      atomic.Int64
+}
+
+func newMetrics() *Metrics {
+	return &Metrics{
+		routes:    make(map[string]*routeStats),
+		latCounts: make([]atomic.Uint64, len(latencyBuckets)),
+	}
+}
+
+// route returns (registering on first use) the counters for an endpoint.
+func (m *Metrics) route(name string) *routeStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rs, ok := m.routes[name]
+	if !ok {
+		rs = &routeStats{}
+		m.routes[name] = rs
+	}
+	return rs
+}
+
+// observe records one served request.
+func (m *Metrics) observe(rs *routeStats, status int, elapsed time.Duration) {
+	rs.requests.Add(1)
+	if status >= 400 {
+		rs.errors.Add(1)
+	}
+	ms := float64(elapsed) / float64(time.Millisecond)
+	for i, ub := range latencyBuckets {
+		if ms <= ub {
+			m.latCounts[i].Add(1)
+		}
+	}
+	m.latCount.Add(1)
+	m.latSumUs.Add(uint64(elapsed / time.Microsecond))
+}
+
+// resultHitRate returns hits/(hits+misses), or 0 before any lookup.
+func (m *Metrics) resultHitRate() float64 {
+	h, mi := m.resultHits.Load(), m.resultMisses.Load()
+	if h+mi == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+mi)
+}
+
+// WriteTo renders the Prometheus text exposition format. Snapshot gauges
+// (age, seq, build time) are passed in by the server at scrape time.
+func (m *Metrics) WriteTo(w io.Writer, snapSeq uint64, snapAge time.Duration, buildTime time.Duration) {
+	m.mu.Lock()
+	names := make([]string, 0, len(m.routes))
+	for name := range m.routes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	stats := make([]*routeStats, len(names))
+	for i, name := range names {
+		stats[i] = m.routes[name]
+	}
+	m.mu.Unlock()
+
+	fmt.Fprintf(w, "# HELP igdb_requests_total Requests served, by route.\n# TYPE igdb_requests_total counter\n")
+	for i, name := range names {
+		fmt.Fprintf(w, "igdb_requests_total{route=%q} %d\n", name, stats[i].requests.Load())
+	}
+	fmt.Fprintf(w, "# HELP igdb_request_errors_total Responses with status >= 400, by route.\n# TYPE igdb_request_errors_total counter\n")
+	for i, name := range names {
+		fmt.Fprintf(w, "igdb_request_errors_total{route=%q} %d\n", name, stats[i].errors.Load())
+	}
+
+	fmt.Fprintf(w, "# HELP igdb_request_duration_ms Request latency histogram (milliseconds).\n# TYPE igdb_request_duration_ms histogram\n")
+	for i, ub := range latencyBuckets {
+		fmt.Fprintf(w, "igdb_request_duration_ms_bucket{le=%q} %d\n",
+			fmt.Sprintf("%g", ub), m.latCounts[i].Load())
+	}
+	fmt.Fprintf(w, "igdb_request_duration_ms_bucket{le=\"+Inf\"} %d\n", m.latCount.Load())
+	fmt.Fprintf(w, "igdb_request_duration_ms_sum %g\n", float64(m.latSumUs.Load())/1000)
+	fmt.Fprintf(w, "igdb_request_duration_ms_count %d\n", m.latCount.Load())
+
+	fmt.Fprintf(w, "igdb_result_cache_hits_total %d\n", m.resultHits.Load())
+	fmt.Fprintf(w, "igdb_result_cache_misses_total %d\n", m.resultMisses.Load())
+	fmt.Fprintf(w, "igdb_result_cache_hit_rate %g\n", m.resultHitRate())
+	fmt.Fprintf(w, "igdb_plan_cache_hits_total %d\n", m.planHits.Load())
+	fmt.Fprintf(w, "igdb_plan_cache_misses_total %d\n", m.planMisses.Load())
+
+	fmt.Fprintf(w, "igdb_rebuilds_total %d\n", m.rebuilds.Load())
+	fmt.Fprintf(w, "igdb_rebuild_errors_total %d\n", m.rebuildErrors.Load())
+	fmt.Fprintf(w, "igdb_panics_recovered_total %d\n", m.panics.Load())
+	fmt.Fprintf(w, "igdb_requests_rejected_total %d\n", m.rejected.Load())
+	fmt.Fprintf(w, "igdb_requests_inflight %d\n", m.inflight.Load())
+
+	fmt.Fprintf(w, "igdb_snapshot_seq %d\n", snapSeq)
+	fmt.Fprintf(w, "igdb_snapshot_age_seconds %g\n", snapAge.Seconds())
+	fmt.Fprintf(w, "igdb_snapshot_build_seconds %g\n", buildTime.Seconds())
+}

@@ -1,0 +1,88 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"runtime/debug"
+	"time"
+)
+
+// statusWriter records the response status for logs and metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// wrap applies the standard middleware stack to one endpoint: panic
+// recovery, inflight accounting, the concurrency limiter (unless the
+// endpoint is exempt, like /healthz and /metrics), a per-request timeout,
+// metrics, and the access log.
+func (s *Server) wrap(route string, limited bool, h http.HandlerFunc) http.Handler {
+	rs := s.metrics.route(route)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		s.metrics.inflight.Add(1)
+		defer func() {
+			s.metrics.inflight.Add(-1)
+			if rec := recover(); rec != nil {
+				s.metrics.panics.Add(1)
+				s.cfg.Logf("igdb-serve: panic on %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+				if sw.status == 0 {
+					writeError(sw, http.StatusInternalServerError, "internal error")
+				}
+			}
+			status := sw.status
+			if status == 0 {
+				status = http.StatusOK
+			}
+			elapsed := time.Since(t0)
+			s.metrics.observe(rs, status, elapsed)
+			s.cfg.Logf(`igdb-serve: access method=%s path=%s status=%d dur_ms=%.3f remote=%s`,
+				r.Method, r.URL.RequestURI(), status, float64(elapsed)/float64(time.Millisecond), r.RemoteAddr)
+		}()
+
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		r = r.WithContext(ctx)
+
+		if limited {
+			select {
+			case s.sem <- struct{}{}:
+				defer func() { <-s.sem }()
+			case <-ctx.Done():
+				s.metrics.rejected.Add(1)
+				writeError(sw, http.StatusServiceUnavailable, "server saturated")
+				return
+			}
+		}
+		h(sw, r)
+	})
+}
+
+// routes wires every endpoint into the mux.
+func (s *Server) routes() {
+	s.mux = http.NewServeMux()
+	s.mux.Handle("POST /sql", s.wrap("/sql", true, s.handleSQL))
+	s.mux.Handle("GET /tables", s.wrap("/tables", true, s.handleTables))
+	s.mux.Handle("GET /export/{layer}", s.wrap("/export", true, s.handleExport))
+	s.mux.Handle("GET /footprint/{asn}", s.wrap("/footprint", true, s.handleFootprint))
+	s.mux.Handle("GET /path", s.wrap("/path", true, s.handlePath))
+	s.mux.Handle("POST /admin/rebuild", s.wrap("/admin/rebuild", false, s.handleRebuild))
+	s.mux.Handle("GET /healthz", s.wrap("/healthz", false, s.handleHealthz))
+	s.mux.Handle("GET /metrics", s.wrap("/metrics", false, s.handleMetrics))
+}

@@ -1,0 +1,262 @@
+// Package server is iGDB's concurrent query-serving layer: a long-lived
+// daemon that builds the cross-layer database once and then answers
+// read-only traffic over HTTP — the paper's "self-contained SQL queries"
+// (§3.4) as a service instead of a one-shot CLI run.
+//
+// Design:
+//
+//   - The built database (core.IGDB plus the §4.2 measurement pipeline) is
+//     held behind an atomic.Pointer snapshot. Readers load the pointer once
+//     per request and never take a lock; a background rebuild constructs a
+//     fresh snapshot off to the side and swaps it in atomically, so queries
+//     in flight keep the old tables and new queries see the new ones.
+//   - Each snapshot carries its own LRU plan cache (normalized SQL →
+//     prepared reldb.Stmt, so repeated statements are parsed once) and
+//     result cache (normalized SQL → encoded rows). Tying the caches to the
+//     snapshot makes a swap invalidate them wholesale, with no epoch
+//     bookkeeping.
+//   - POST /sql admits SELECT only: anything that parses to DDL/DML is
+//     rejected with 403 before touching the database.
+//   - Robustness: panic recovery, a concurrency limiter, per-request
+//     timeouts, structured access logs, graceful shutdown, and /metrics
+//     (request counts, latency histogram, cache hit rates, snapshot age).
+package server
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"igdb/internal/core"
+	"igdb/internal/ingest"
+	"igdb/internal/paths"
+	"igdb/internal/reldb"
+)
+
+// Config controls the server.
+type Config struct {
+	// Dir is the snapshot store directory (igdb collect's -dir). Ignored
+	// when Store is set.
+	Dir string
+	// Store is an optional pre-loaded snapshot store; tests and benchmarks
+	// inject in-memory stores here.
+	Store *ingest.Store
+	// AsOf pins builds to snapshots at-or-before this instant; zero = newest.
+	AsOf time.Time
+	// Addr is the listen address for Run (default ":8080").
+	Addr string
+	// MaxConcurrency bounds simultaneously executing requests (default 64).
+	MaxConcurrency int
+	// RequestTimeout bounds one request end to end (default 30s).
+	RequestTimeout time.Duration
+	// CacheSize is the per-snapshot LRU capacity for both the plan and the
+	// result cache (default 256). Negative disables the result cache (plans
+	// are still cached); the throughput benchmark uses this to measure the
+	// cache's contribution.
+	CacheSize int
+	// MaxResultRows caps the rows returned by one /sql call (default 10000).
+	MaxResultRows int
+	// RebuildEvery re-ingests from the store directory and swaps the
+	// snapshot on this period (0 = only on POST /admin/rebuild).
+	RebuildEvery time.Duration
+	// Logf receives structured access-log lines (default log.Printf).
+	Logf func(format string, args ...interface{})
+}
+
+func (c *Config) fillDefaults() {
+	if c.Addr == "" {
+		c.Addr = ":8080"
+	}
+	if c.MaxConcurrency <= 0 {
+		c.MaxConcurrency = 64
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 256
+	}
+	if c.MaxResultRows <= 0 {
+		c.MaxResultRows = 10000
+	}
+	if c.Logf == nil {
+		c.Logf = log.Printf
+	}
+}
+
+// snapshot is one immutable built database plus everything derived from it.
+// All fields are read-only after construction; the caches are internally
+// synchronized.
+type snapshot struct {
+	g         *core.IGDB
+	pipe      *paths.Pipeline
+	seq       uint64
+	builtAt   time.Time
+	buildTime time.Duration
+	plans     *lruCache[*reldb.Stmt]
+	results   *lruCache[*sqlResult]
+}
+
+// Server serves a built iGDB over HTTP.
+type Server struct {
+	cfg     Config
+	store   *ingest.Store
+	snap    atomic.Pointer[snapshot]
+	seq     atomic.Uint64
+	metrics *Metrics
+	sem     chan struct{}
+	mux     *http.ServeMux
+
+	// rebuildMu serializes rebuilds (and the store reload inside them).
+	rebuildMu sync.Mutex
+}
+
+// New loads the store, builds the first snapshot, and wires the routes.
+func New(cfg Config) (*Server, error) {
+	cfg.fillDefaults()
+	store := cfg.Store
+	if store == nil {
+		if cfg.Dir == "" {
+			return nil, fmt.Errorf("server: Dir or Store is required")
+		}
+		store = ingest.NewStore(cfg.Dir)
+		if err := store.Load(); err != nil {
+			return nil, fmt.Errorf("server: loading store: %w", err)
+		}
+	}
+	s := &Server{
+		cfg:     cfg,
+		store:   store,
+		metrics: newMetrics(),
+		sem:     make(chan struct{}, cfg.MaxConcurrency),
+	}
+	snap, err := s.buildSnapshot()
+	if err != nil {
+		return nil, err
+	}
+	s.snap.Store(snap)
+	s.routes()
+	return s, nil
+}
+
+// current returns the serving snapshot. Handlers call this once per request
+// so one request always sees one consistent database.
+func (s *Server) current() *snapshot { return s.snap.Load() }
+
+// buildSnapshot constructs a fresh snapshot from the store. Callers other
+// than New must hold rebuildMu.
+func (s *Server) buildSnapshot() (*snapshot, error) {
+	t0 := time.Now()
+	g, err := core.Build(s.store, core.BuildOptions{AsOf: s.cfg.AsOf})
+	if err != nil {
+		return nil, fmt.Errorf("server: build: %w", err)
+	}
+	pipe, err := paths.NewPipeline(g, s.store)
+	if err != nil {
+		return nil, fmt.Errorf("server: paths pipeline: %w", err)
+	}
+	resultSize := s.cfg.CacheSize
+	if resultSize < 0 {
+		resultSize = 0 // disabled; sqlResult lookups are skipped entirely
+	}
+	snap := &snapshot{
+		g:         g,
+		pipe:      pipe,
+		seq:       s.seq.Add(1),
+		builtAt:   time.Now(),
+		buildTime: time.Since(t0),
+		plans:     newLRU[*reldb.Stmt](max(s.cfg.CacheSize, 16)),
+	}
+	if resultSize > 0 {
+		snap.results = newLRU[*sqlResult](resultSize)
+	}
+	return snap, nil
+}
+
+// Rebuild re-reads the store directory (picking up snapshots collected
+// since startup), builds a fresh database, and atomically swaps it in.
+// Readers are never blocked: they keep the old snapshot until the swap.
+// Returns the new snapshot's sequence number and build duration.
+func (s *Server) Rebuild() (uint64, time.Duration, error) {
+	s.rebuildMu.Lock()
+	defer s.rebuildMu.Unlock()
+	// Pick up store snapshots that appeared on disk since the last load
+	// (in-memory stores no-op here).
+	if err := s.store.Load(); err != nil {
+		s.metrics.rebuildErrors.Add(1)
+		return 0, 0, fmt.Errorf("server: reloading store: %w", err)
+	}
+	snap, err := s.buildSnapshot()
+	if err != nil {
+		s.metrics.rebuildErrors.Add(1)
+		return 0, 0, err
+	}
+	s.snap.Store(snap)
+	s.metrics.rebuilds.Add(1)
+	s.cfg.Logf("igdb-serve: snapshot %d ready (built in %v)", snap.seq, snap.buildTime.Round(time.Millisecond))
+	return snap.seq, snap.buildTime, nil
+}
+
+// TryRebuild runs Rebuild unless one is already in flight.
+func (s *Server) TryRebuild() (uint64, time.Duration, bool, error) {
+	if !s.rebuildMu.TryLock() {
+		return 0, 0, false, nil
+	}
+	s.rebuildMu.Unlock()
+	seq, d, err := s.Rebuild()
+	return seq, d, true, err
+}
+
+// Handler returns the fully middleware-wrapped HTTP handler; usable
+// directly with httptest.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics exposes the server's counters (for tests and embedding).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// SnapshotSeq returns the serving snapshot's sequence number.
+func (s *Server) SnapshotSeq() uint64 { return s.current().seq }
+
+// Run serves until ctx is cancelled, then drains connections gracefully.
+// When cfg.RebuildEvery > 0 a background ticker re-ingests and swaps the
+// snapshot on that period.
+func (s *Server) Run(ctx context.Context) error {
+	httpSrv := &http.Server{
+		Addr:              s.cfg.Addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	if s.cfg.RebuildEvery > 0 {
+		go func() {
+			tick := time.NewTicker(s.cfg.RebuildEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+					if _, _, err := s.Rebuild(); err != nil {
+						s.cfg.Logf("igdb-serve: periodic rebuild failed: %v", err)
+					}
+				}
+			}
+		}()
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	s.cfg.Logf("igdb-serve: listening on %s (snapshot %d, %d tables)",
+		s.cfg.Addr, s.current().seq, len(s.current().g.Rel.TableNames()))
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.cfg.Logf("igdb-serve: shutting down")
+		return httpSrv.Shutdown(shutCtx)
+	}
+}

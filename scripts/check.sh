@@ -1,0 +1,19 @@
+#!/bin/sh
+# Tier-1 verification gate: formatting, vet, build, and the full test
+# suite under the race detector. Run from anywhere inside the repo.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt: these files need formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+go vet ./...
+go build ./...
+go test -race ./...
+
+echo "check.sh: all green"
