@@ -1,0 +1,103 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// corruptSourceOnDisk overwrites every file of a source's snapshots in the
+// on-disk store (<dir>/<source>/<timestamp>/<file>) with bytes no parser
+// accepts — a real operator-facing corruption, not an injected one.
+func corruptSourceOnDisk(t *testing.T, dir, source string) {
+	t.Helper()
+	n := 0
+	err := filepath.Walk(filepath.Join(dir, source), func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() {
+			return err
+		}
+		n++
+		return os.WriteFile(path, []byte("\xff\xfe\"garbage\x00"), 0o644)
+	})
+	if err != nil {
+		t.Fatalf("corrupting %s: %v", source, err)
+	}
+	if n == 0 {
+		t.Fatalf("no files found for source %s under %s", source, dir)
+	}
+}
+
+// TestDegradedBuildEndToEnd drives the operator workflow the PR promises:
+// collect → a source rots on disk → strict build fails naming it →
+// build -degraded succeeds → sql shows the quarantine in source_status.
+func TestDegradedBuildEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e test re-executes the binary repeatedly")
+	}
+	dir := t.TempDir()
+
+	if stdout, stderr, code := runCLI(t, "collect", "-dir", dir, "-seed", "42"); code != 0 {
+		t.Fatalf("collect exited %d: %s%s", code, stdout, stderr)
+	}
+	corruptSourceOnDisk(t, dir, "telegeography")
+
+	// Strict build: loud failure naming the source.
+	stdout, stderr, code := runCLI(t, "build", "-dir", dir)
+	if code == 0 {
+		t.Fatalf("strict build survived corrupt telegeography: %s", stdout)
+	}
+	if !strings.Contains(stderr, "telegeography") {
+		t.Fatalf("strict build error does not name the source: %q", stderr)
+	}
+
+	// Degraded build: succeeds and says what it quarantined.
+	stdout, stderr, code = runCLI(t, "build", "-dir", dir, "-degraded")
+	if code != 0 {
+		t.Fatalf("degraded build exited %d: %s%s", code, stdout, stderr)
+	}
+	if !strings.Contains(stderr, "telegeography") {
+		t.Fatalf("degraded build did not report the quarantine: %q", stderr)
+	}
+	if !strings.Contains(stdout, "source_status") {
+		t.Fatalf("relation inventory missing source_status: %q", stdout)
+	}
+
+	// The provenance is queryable with plain SQL.
+	stdout, stderr, code = runCLI(t, "sql", "-dir", dir, "-degraded",
+		`SELECT source, status FROM source_status WHERE status <> 'ok'`)
+	if code != 0 {
+		t.Fatalf("sql exited %d: %s%s", code, stdout, stderr)
+	}
+	lines := strings.Split(strings.TrimSpace(stdout), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("source_status rows = %q, want exactly one quarantined source", stdout)
+	}
+	fields := strings.Split(lines[1], "\t")
+	if len(fields) != 2 || fields[0] != "telegeography" || fields[1] == "ok" {
+		t.Fatalf("quarantine row = %q, want telegeography with non-ok status", lines[1])
+	}
+
+	// The healthy sources still produced a usable database.
+	stdout, _, code = runCLI(t, "sql", "-dir", dir, "-degraded", `SELECT COUNT(*) FROM asn_loc`)
+	if code != 0 || !strings.Contains(stdout, "\n") {
+		t.Fatalf("degraded database unusable: %q", stdout)
+	}
+}
+
+// TestCollectRetryFlags exercises the -retries/-continue-on-error flag
+// plumbing (the store is healthy, so both succeed; the flag parsing and
+// report printing are what is under test).
+func TestCollectRetryFlags(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e test re-executes the binary repeatedly")
+	}
+	dir := t.TempDir()
+	stdout, stderr, code := runCLI(t, "collect", "-dir", dir, "-seed", "42", "-retries", "5", "-continue-on-error")
+	if code != 0 {
+		t.Fatalf("collect exited %d: %s%s", code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "collected 11/11 sources") {
+		t.Fatalf("collect stdout = %q", stdout)
+	}
+}

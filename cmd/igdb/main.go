@@ -6,14 +6,18 @@
 //
 // Usage:
 //
-//	igdb collect -dir DIR [-scale small|paper] [-seed N]
-//	igdb build   -dir DIR [-as-of YYYY-MM-DD]
+//	igdb collect -dir DIR [-scale small|paper] [-seed N] [-retries N] [-continue-on-error]
+//	igdb build   -dir DIR [-as-of YYYY-MM-DD] [-degraded] [-stale-after DUR]
 //	igdb check   -dir DIR
 //	igdb sql     -dir DIR 'SELECT ...'
 //	igdb tables  -dir DIR
 //	igdb export  -dir DIR -layer LAYER [-format geojson|svg] [-o FILE]
 //	igdb analyze -dir DIR [-as-of YYYY-MM-DD]
-//	igdb serve   -dir DIR [-addr :8080] [-rebuild-every DUR]
+//	igdb serve   -dir DIR [-addr :8080] [-rebuild-every DUR] [-degraded]
+//
+// -degraded builds quarantine corrupt, missing, or stale sources in the
+// source_status relation and keep going; the default is to fail loudly on
+// the first bad source.
 package main
 
 import (
@@ -96,20 +100,45 @@ func loadStore(dir string) (*ingest.Store, error) {
 	return store, nil
 }
 
-func buildDB(dir, asOf string) (*core.IGDB, error) {
-	store, err := loadStore(dir)
+// buildFlags are the flags shared by every command that builds the
+// database from a store directory.
+type buildFlags struct {
+	dir        string
+	asOf       string
+	degraded   bool
+	staleAfter time.Duration
+}
+
+func addBuildFlags(fs *flag.FlagSet) *buildFlags {
+	f := &buildFlags{}
+	fs.StringVar(&f.dir, "dir", "", "snapshot store directory")
+	fs.StringVar(&f.asOf, "as-of", "", "build as of date (YYYY-MM-DD, default newest)")
+	fs.BoolVar(&f.degraded, "degraded", false, "quarantine bad sources in source_status instead of failing the build")
+	fs.DurationVar(&f.staleAfter, "stale-after", 0, "sources lagging the newest snapshot by more than this are stale (0 = never)")
+	return f
+}
+
+func (f *buildFlags) build() (*core.IGDB, error) {
+	store, err := loadStore(f.dir)
 	if err != nil {
 		return nil, err
 	}
-	opts := core.BuildOptions{}
-	if asOf != "" {
-		t, err := time.Parse("2006-01-02", asOf)
+	opts := core.BuildOptions{Degraded: f.degraded, StaleAfter: f.staleAfter}
+	if f.asOf != "" {
+		t, err := time.Parse("2006-01-02", f.asOf)
 		if err != nil {
 			return nil, fmt.Errorf("bad -as-of: %v", err)
 		}
 		opts.AsOf = t.Add(24*time.Hour - time.Second)
 	}
-	return core.Build(store, opts)
+	g, err := core.Build(store, opts)
+	if err != nil {
+		return nil, err
+	}
+	if q := g.QuarantinedSources(); len(q) > 0 {
+		fmt.Fprintf(os.Stderr, "degraded build: quarantined %s (see the source_status relation)\n", strings.Join(q, ", "))
+	}
+	return g, nil
 }
 
 func cmdCollect(args []string) error {
@@ -117,6 +146,8 @@ func cmdCollect(args []string) error {
 	dir := fs.String("dir", "", "snapshot store directory")
 	scale := fs.String("scale", "small", "world scale: small or paper")
 	seed := fs.Int64("seed", 0, "world seed override")
+	retries := fs.Int("retries", 3, "attempt budget per source (transient failures back off and retry)")
+	contOnErr := fs.Bool("continue-on-error", false, "keep collecting remaining sources after one exhausts its budget")
 	_ = fs.Parse(args)
 	if *dir == "" {
 		return fmt.Errorf("-dir is required")
@@ -132,20 +163,35 @@ func cmdCollect(args []string) error {
 	w := worldgen.Generate(cfg)
 	store := ingest.NewStore(*dir)
 	asOf := time.Now().UTC().Truncate(time.Second)
-	if err := ingest.Collect(w, store, asOf); err != nil {
+	report, err := ingest.CollectWith(w, store, asOf, ingest.CollectOptions{
+		MaxAttempts:     *retries,
+		ContinueOnError: *contOnErr,
+		Logf:            func(format string, a ...interface{}) { fmt.Fprintf(os.Stderr, format+"\n", a...) },
+	})
+	if report != nil {
+		for _, res := range report.Results {
+			if res.Err != nil {
+				fmt.Fprintf(os.Stderr, "collect: %s failed after %d attempt(s): %v\n", res.Source, res.Attempts, res.Err)
+			}
+		}
+	}
+	if err != nil {
 		return err
 	}
-	fmt.Printf("collected %d sources into %s (as of %s)\n", len(ingest.Sources), *dir, asOf.Format(time.RFC3339))
+	ok := len(ingest.Sources)
+	if report != nil {
+		ok -= len(report.Failed())
+	}
+	fmt.Printf("collected %d/%d sources into %s (as of %s)\n", ok, len(ingest.Sources), *dir, asOf.Format(time.RFC3339))
 	return nil
 }
 
 func cmdBuild(args []string) error {
 	fs := flag.NewFlagSet("build", flag.ExitOnError)
-	dir := fs.String("dir", "", "snapshot store directory")
-	asOf := fs.String("as-of", "", "build as of date (YYYY-MM-DD, default newest)")
+	bf := addBuildFlags(fs)
 	_ = fs.Parse(args)
 	t0 := time.Now()
-	g, err := buildDB(*dir, *asOf)
+	g, err := bf.build()
 	if err != nil {
 		return err
 	}
@@ -155,10 +201,9 @@ func cmdBuild(args []string) error {
 
 func cmdTables(args []string) error {
 	fs := flag.NewFlagSet("tables", flag.ExitOnError)
-	dir := fs.String("dir", "", "snapshot store directory")
-	asOf := fs.String("as-of", "", "build as of date (YYYY-MM-DD)")
+	bf := addBuildFlags(fs)
 	_ = fs.Parse(args)
-	g, err := buildDB(*dir, *asOf)
+	g, err := bf.build()
 	if err != nil {
 		return err
 	}
@@ -175,10 +220,9 @@ func printTables(g *core.IGDB) error {
 
 func cmdCheck(args []string) error {
 	fs := flag.NewFlagSet("check", flag.ExitOnError)
-	dir := fs.String("dir", "", "snapshot store directory")
-	asOf := fs.String("as-of", "", "build as of date (YYYY-MM-DD)")
+	bf := addBuildFlags(fs)
 	_ = fs.Parse(args)
-	g, err := buildDB(*dir, *asOf)
+	g, err := bf.build()
 	if err != nil {
 		return err
 	}
@@ -196,13 +240,12 @@ func cmdCheck(args []string) error {
 
 func cmdSQL(args []string) error {
 	fs := flag.NewFlagSet("sql", flag.ExitOnError)
-	dir := fs.String("dir", "", "snapshot store directory")
-	asOf := fs.String("as-of", "", "build as of date (YYYY-MM-DD)")
+	bf := addBuildFlags(fs)
 	_ = fs.Parse(args)
 	if fs.NArg() != 1 {
 		return fmt.Errorf("usage: igdb sql -dir DIR 'SELECT ...'")
 	}
-	g, err := buildDB(*dir, *asOf)
+	g, err := bf.build()
 	if err != nil {
 		return err
 	}
@@ -224,14 +267,13 @@ func cmdSQL(args []string) error {
 
 func cmdAnalyze(args []string) error {
 	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
-	dir := fs.String("dir", "", "snapshot store directory")
-	asOf := fs.String("as-of", "", "build as of date (YYYY-MM-DD)")
+	bf := addBuildFlags(fs)
 	_ = fs.Parse(args)
-	store, err := loadStore(*dir)
+	store, err := loadStore(bf.dir)
 	if err != nil {
 		return err
 	}
-	g, err := buildDB(*dir, *asOf)
+	g, err := bf.build()
 	if err != nil {
 		return err
 	}
@@ -258,13 +300,12 @@ func cmdAnalyze(args []string) error {
 
 func cmdExport(args []string) error {
 	fs := flag.NewFlagSet("export", flag.ExitOnError)
-	dir := fs.String("dir", "", "snapshot store directory")
-	asOf := fs.String("as-of", "", "build as of date (YYYY-MM-DD)")
+	bf := addBuildFlags(fs)
 	layer := fs.String("layer", "", "layer: phys_nodes | std_paths | sub_cables | city_points | city_polygons")
 	format := fs.String("format", "geojson", "geojson or svg")
 	out := fs.String("o", "", "output file (default stdout)")
 	_ = fs.Parse(args)
-	g, err := buildDB(*dir, *asOf)
+	g, err := bf.build()
 	if err != nil {
 		return err
 	}

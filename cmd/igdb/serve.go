@@ -26,6 +26,8 @@ func cmdServe(args []string) error {
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request deadline")
 	cacheSize := fs.Int("cache-size", 256, "per-snapshot LRU size for plan and result caches (negative disables the result cache)")
 	maxRows := fs.Int("max-rows", 10000, "maximum rows returned by one /sql call")
+	degraded := fs.Bool("degraded", false, "quarantine bad sources instead of failing builds; /healthz reports per-source status")
+	staleAfter := fs.Duration("stale-after", 0, "sources lagging the newest snapshot by more than this are stale (0 = never)")
 	_ = fs.Parse(args)
 	if *dir == "" {
 		return fmt.Errorf("-dir is required")
@@ -38,6 +40,8 @@ func cmdServe(args []string) error {
 		RequestTimeout: *timeout,
 		CacheSize:      *cacheSize,
 		MaxResultRows:  *maxRows,
+		Degraded:       *degraded,
+		StaleAfter:     *staleAfter,
 	}
 	if *asOf != "" {
 		t, err := time.Parse("2006-01-02", *asOf)

@@ -1,0 +1,320 @@
+// Package chaos is iGDB's deterministic fault-injection layer. Every input
+// source the paper scrapes (§2) fails in practice — truncated downloads,
+// garbled encodings, vanished endpoints, transient timeouts — so the
+// ingestion and build layers must be exercised against exactly those
+// shapes. chaos.Store wraps any ingest.Reader and corrupts the snapshots it
+// returns, per source, with seeded (fully reproducible) randomness; the
+// underlying store is never mutated. All fault-tolerance tests in the repo
+// (core's chaos matrix, the server's degraded-rebuild suite, ingest's
+// retry tests) are built on this package.
+package chaos
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sync"
+	"time"
+
+	"igdb/internal/ingest"
+)
+
+// FaultKind enumerates the injectable fault classes.
+type FaultKind int
+
+// The fault classes. TruncateFault through GarbleFault corrupt file bytes;
+// DropFault and TransientFault fail the read itself.
+const (
+	// TruncateFault cuts a file off mid-record, like an interrupted
+	// download.
+	TruncateFault FaultKind = iota
+	// FlipFault flips random bytes in place, like a corrupted transfer.
+	FlipFault
+	// EmptyFault replaces the file with zero bytes, like a 200 OK with an
+	// empty body.
+	EmptyFault
+	// GarbleFault overwrites a contiguous window with junk, destroying
+	// record separators, like an encoding or framing bug.
+	GarbleFault
+	// DropFault makes the whole snapshot vanish: reads report
+	// ingest.ErrNoSnapshot, like a source that stopped publishing.
+	DropFault
+	// TransientFault makes the next N reads fail with a retryable error,
+	// like timeouts or rate limiting; read N+1 succeeds.
+	TransientFault
+)
+
+// String names the fault class.
+func (k FaultKind) String() string {
+	switch k {
+	case TruncateFault:
+		return "truncate"
+	case FlipFault:
+		return "flip"
+	case EmptyFault:
+		return "empty"
+	case GarbleFault:
+		return "garble"
+	case DropFault:
+		return "drop"
+	case TransientFault:
+		return "transient"
+	default:
+		return fmt.Sprintf("fault(%d)", int(k))
+	}
+}
+
+// Fault is one injected fault. The zero File targets every file of the
+// snapshot.
+type Fault struct {
+	Kind FaultKind
+	File string // specific file, or "" for all files
+	N    int    // TransientFault: failures before success; FlipFault: bytes to flip
+}
+
+// Truncate cuts file (or all files when file is "") off mid-record.
+func Truncate(file string) Fault { return Fault{Kind: TruncateFault, File: file} }
+
+// Flip flips n random bytes of file (all files when "").
+func Flip(file string, n int) Fault { return Fault{Kind: FlipFault, File: file, N: n} }
+
+// Empty zeroes file (all files when "").
+func Empty(file string) Fault { return Fault{Kind: EmptyFault, File: file} }
+
+// Garble overwrites a contiguous window of file (all files when "") with
+// junk bytes, destroying record separators.
+func Garble(file string) Fault { return Fault{Kind: GarbleFault, File: file} }
+
+// Drop makes the source's snapshots vanish entirely.
+func Drop() Fault { return Fault{Kind: DropFault} }
+
+// Transient makes the next n reads of the source fail retryably.
+func Transient(n int) Fault { return Fault{Kind: TransientFault, N: n} }
+
+// Store wraps an ingest.Reader and injects per-source faults into every
+// snapshot it serves. Corruption happens on a deep copy — the wrapped
+// store's bytes are never touched — and is driven by a seeded RNG keyed on
+// (seed, source, file), so a given Store configuration always produces the
+// identical corrupt bytes regardless of call order. Store is safe for
+// concurrent use and implements ingest.Reloader.
+type Store struct {
+	r    ingest.Reader
+	seed int64
+
+	mu            sync.Mutex
+	faults        map[string][]Fault
+	transientLeft map[string]int
+}
+
+var _ ingest.Reloader = (*Store)(nil)
+
+// New wraps r with a fault injector seeded by seed.
+func New(r ingest.Reader, seed int64) *Store {
+	return &Store{
+		r:             r,
+		seed:          seed,
+		faults:        make(map[string][]Fault),
+		transientLeft: make(map[string]int),
+	}
+}
+
+// Inject adds faults for one source. Later Inject calls append.
+func (s *Store) Inject(source string, faults ...Fault) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, f := range faults {
+		if f.Kind == TransientFault {
+			s.transientLeft[source] += f.N
+			continue
+		}
+		s.faults[source] = append(s.faults[source], f)
+	}
+}
+
+// Clear removes every fault for one source (all sources when source is "").
+func (s *Store) Clear(source string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if source == "" {
+		s.faults = make(map[string][]Fault)
+		s.transientLeft = make(map[string]int)
+		return
+	}
+	delete(s.faults, source)
+	delete(s.transientLeft, source)
+}
+
+// Load reloads the wrapped store when it supports reloading.
+func (s *Store) Load() error {
+	if rl, ok := s.r.(ingest.Reloader); ok {
+		return rl.Load()
+	}
+	return nil
+}
+
+// Versions lists the wrapped store's snapshot timestamps (dropped sources
+// report none).
+func (s *Store) Versions(source string) []time.Time {
+	s.mu.Lock()
+	for _, f := range s.faults[source] {
+		if f.Kind == DropFault {
+			s.mu.Unlock()
+			return nil
+		}
+	}
+	s.mu.Unlock()
+	return s.r.Versions(source)
+}
+
+// Latest serves the wrapped store's snapshot with this source's faults
+// applied to a deep copy.
+func (s *Store) Latest(source string, asOf time.Time) (ingest.Snapshot, error) {
+	s.mu.Lock()
+	if n := s.transientLeft[source]; n > 0 {
+		s.transientLeft[source] = n - 1
+		s.mu.Unlock()
+		return ingest.Snapshot{}, ingest.Transient(fmt.Errorf("chaos: transient read failure for %q", source))
+	}
+	faults := append([]Fault(nil), s.faults[source]...)
+	s.mu.Unlock()
+
+	for _, f := range faults {
+		if f.Kind == DropFault {
+			return ingest.Snapshot{}, fmt.Errorf("chaos: dropped %q: %w", source, ingest.ErrNoSnapshot)
+		}
+	}
+	snap, err := s.r.Latest(source, asOf)
+	if err != nil || len(faults) == 0 {
+		return snap, err
+	}
+	// Deep-copy so corruption never leaks into the wrapped store.
+	files := make(map[string][]byte, len(snap.Files))
+	for name, data := range snap.Files {
+		files[name] = append([]byte(nil), data...)
+	}
+	snap.Files = files
+	for _, f := range faults {
+		for name := range snap.Files {
+			if f.File != "" && f.File != name {
+				continue
+			}
+			snap.Files[name] = s.corrupt(f, source, name, snap.Files[name])
+		}
+	}
+	return snap, nil
+}
+
+// rng returns a deterministic generator keyed on (seed, source, file), so
+// corruption is independent of the order in which files are read.
+func (s *Store) rng(source, file string) *rand.Rand {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s|%s", s.seed, source, file)
+	return rand.New(rand.NewSource(int64(h.Sum64())))
+}
+
+// corrupt applies one byte-level fault to data.
+func (s *Store) corrupt(f Fault, source, file string, data []byte) []byte {
+	if len(data) == 0 {
+		return data
+	}
+	rng := s.rng(source, file)
+	switch f.Kind {
+	case EmptyFault:
+		return nil
+	case TruncateFault:
+		return truncate(rng, data)
+	case FlipFault:
+		n := f.N
+		if n <= 0 {
+			n = 1 + len(data)/256
+		}
+		for i := 0; i < n; i++ {
+			pos := rng.Intn(len(data))
+			data[pos] ^= byte(1 + rng.Intn(255))
+		}
+		return data
+	case GarbleFault:
+		return garble(rng, data)
+	default:
+		return data
+	}
+}
+
+// truncate cuts data a byte or three into a middle record, the way an
+// interrupted transfer leaves a partial final line. Files without multiple
+// lines (compact JSON) are cut at the midpoint — any proper prefix of a
+// JSON document is invalid.
+func truncate(rng *rand.Rand, data []byte) []byte {
+	starts := lineStarts(data)
+	if len(starts) < 3 {
+		return data[:(len(data)+1)/2]
+	}
+	// Pick a line from the middle third so headers survive and the cut is
+	// never at a record boundary.
+	li := len(starts)/3 + rng.Intn(len(starts)/3)
+	if li == 0 {
+		li = 1
+	}
+	start := starts[li]
+	keep := 1 + rng.Intn(3)
+	if start+keep > len(data) {
+		keep = len(data) - start
+	}
+	return data[:start+keep]
+}
+
+// garble overwrites a contiguous window of data with 0xFF junk, wiping out
+// record and field separators. A lone '"' is planted mid-window: without
+// it, a window that happens to start and end inside JSON string literals
+// collapses into one long string token, and encoding/json accepts invalid
+// UTF-8 inside strings — the corruption would go undetected. The unpaired
+// quote forces the junk to a structural position, which no format accepts.
+func garble(rng *rand.Rand, data []byte) []byte {
+	w := len(data) / 4
+	if w < 64 {
+		w = 64
+	}
+	if w > len(data) {
+		w = len(data)
+	}
+	start := (len(data) - w) / 2
+	if span := len(data) - w; span > 0 {
+		start = rng.Intn(span)
+	}
+	for i := start; i < start+w; i++ {
+		data[i] = 0xFF
+	}
+	data[start+w/2] = '"'
+	return data
+}
+
+// lineStarts returns the byte offset of every line start in data.
+func lineStarts(data []byte) []int {
+	starts := []int{0}
+	for i, b := range data {
+		if b == '\n' && i+1 < len(data) {
+			starts = append(starts, i+1)
+		}
+	}
+	return starts
+}
+
+// FlakySources builds an ingest.CollectOptions.Intercept hook that fails
+// the first failures[source] fetch attempts of each listed source with a
+// transient error. Sources not listed are untouched.
+func FlakySources(failures map[string]int) func(source string, attempt int) error {
+	var mu sync.Mutex
+	left := make(map[string]int, len(failures))
+	for s, n := range failures {
+		left[s] = n
+	}
+	return func(source string, attempt int) error {
+		mu.Lock()
+		defer mu.Unlock()
+		if left[source] > 0 {
+			left[source]--
+			return ingest.Transient(fmt.Errorf("chaos: %s: injected transient failure (attempt %d)", source, attempt))
+		}
+		return nil
+	}
+}

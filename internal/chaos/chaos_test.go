@@ -1,0 +1,143 @@
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"igdb/internal/ingest"
+)
+
+func testBase(t *testing.T) *ingest.Store {
+	t.Helper()
+	store := ingest.NewStore("")
+	lines := &strings.Builder{}
+	lines.WriteString("name\tcity\tcountry\n")
+	for i := 0; i < 40; i++ {
+		lines.WriteString("Example IX\tAustin\tUS\n")
+	}
+	err := store.Save(ingest.Snapshot{
+		Source: "pch",
+		AsOf:   time.Unix(1780000000, 0).UTC(),
+		Files: map[string][]byte{
+			"ixpdir.tsv": []byte(lines.String()),
+			"other.json": []byte(`{"k":"` + strings.Repeat("v", 400) + `"}`),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return store
+}
+
+func TestFaultsNeverMutateWrappedStore(t *testing.T) {
+	base := testBase(t)
+	orig, err := base.Latest("pch", time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]byte(nil), orig.Files["ixpdir.tsv"]...)
+
+	cs := New(base, 3)
+	cs.Inject("pch", Truncate(""), Flip("", 8), Garble(""))
+	if _, err := cs.Latest("pch", time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	after, err := base.Latest("pch", time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(after.Files["ixpdir.tsv"], want) {
+		t.Fatal("corruption leaked into the wrapped store")
+	}
+}
+
+func TestTruncateCutsMidLine(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	data := []byte("header\nrow one\nrow two\nrow three\nrow four\nrow five\n")
+	got := truncate(rng, data)
+	if len(got) >= len(data) {
+		t.Fatalf("truncate did not shorten: %d -> %d", len(data), len(got))
+	}
+	if got[len(got)-1] == '\n' {
+		t.Fatalf("truncate ended at a record boundary: %q", got)
+	}
+	// Single-line (compact JSON) input is cut at the midpoint.
+	one := []byte(`{"cables":[{"id":1}]}`)
+	if cut := truncate(rng, one); len(cut) != (len(one)+1)/2 {
+		t.Fatalf("single-line truncate = %d bytes, want %d", len(cut), (len(one)+1)/2)
+	}
+}
+
+func TestGarbleBreaksJSONStrings(t *testing.T) {
+	// The planted quote must make the window detectable even when it lands
+	// entirely inside a JSON string value.
+	rng := rand.New(rand.NewSource(1))
+	data := []byte(`{"k":"` + strings.Repeat("v", 4000) + `"}`)
+	out := garble(rng, append([]byte(nil), data...))
+	if !bytes.Contains(out, []byte{0xFF}) {
+		t.Fatal("garble wrote no junk")
+	}
+	if !bytes.Contains(out, []byte{'"'}) {
+		t.Fatal("garble lost the unpaired quote")
+	}
+}
+
+func TestDropAndTransient(t *testing.T) {
+	cs := New(testBase(t), 5)
+	cs.Inject("pch", Transient(1))
+	if _, err := cs.Latest("pch", time.Time{}); !ingest.IsTransient(err) {
+		t.Fatalf("want transient error, got %v", err)
+	}
+	if _, err := cs.Latest("pch", time.Time{}); err != nil {
+		t.Fatalf("transient budget spent but read failed: %v", err)
+	}
+
+	cs.Inject("pch", Drop())
+	if _, err := cs.Latest("pch", time.Time{}); !errors.Is(err, ingest.ErrNoSnapshot) {
+		t.Fatalf("dropped source: want ErrNoSnapshot, got %v", err)
+	}
+	if v := cs.Versions("pch"); v != nil {
+		t.Fatalf("dropped source still lists versions: %v", v)
+	}
+	cs.Clear("pch")
+	if _, err := cs.Latest("pch", time.Time{}); err != nil {
+		t.Fatalf("cleared source unreadable: %v", err)
+	}
+}
+
+func TestDeterministicBySeed(t *testing.T) {
+	read := func(seed int64) []byte {
+		cs := New(testBase(t), seed)
+		cs.Inject("pch", Garble(""))
+		snap, err := cs.Latest("pch", time.Time{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return snap.Files["ixpdir.tsv"]
+	}
+	if !bytes.Equal(read(9), read(9)) {
+		t.Fatal("same seed produced different corruption")
+	}
+	if bytes.Equal(read(9), read(10)) {
+		t.Fatal("different seeds produced identical corruption")
+	}
+}
+
+func TestFlakySources(t *testing.T) {
+	hook := FlakySources(map[string]int{"pch": 2})
+	for i := 1; i <= 2; i++ {
+		if err := hook("pch", i); !ingest.IsTransient(err) {
+			t.Fatalf("attempt %d: want transient, got %v", i, err)
+		}
+	}
+	if err := hook("pch", 3); err != nil {
+		t.Fatalf("attempt past budget: %v", err)
+	}
+	if err := hook("rdns", 1); err != nil {
+		t.Fatalf("unlisted source failed: %v", err)
+	}
+}

@@ -10,6 +10,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"strings"
@@ -56,6 +57,9 @@ type IGDB struct {
 	// path" analyses (§4.2).
 	Paths *PathNetwork
 	AsOf  time.Time
+	// SourceStatus records per-source provenance: what loaded, what was
+	// quarantined and why. Mirrors the source_status relation.
+	SourceStatus []SourceStatus
 
 	tree    *spatial.KDTree
 	cityIdx map[string]int
@@ -75,6 +79,57 @@ type BuildOptions struct {
 	// MaxStandardPaths caps right-of-way inference (0 = unlimited); useful
 	// for quick interactive builds.
 	MaxStandardPaths int
+	// Degraded keeps building when a source is corrupt, missing, or
+	// stale: the offending source is quarantined (recorded in the
+	// source_status relation with its error) and the database is
+	// assembled from whatever loaded cleanly. The default (strict) mode
+	// fails the whole build on the first bad source, naming it.
+	Degraded bool
+	// StaleAfter quarantines (degraded) or rejects (strict) any source
+	// whose snapshot is older than the reference time — AsOf when set,
+	// otherwise the newest snapshot in the store — by more than this.
+	// Zero disables staleness checks.
+	StaleAfter time.Duration
+}
+
+// Source status values recorded in the source_status relation.
+const (
+	StatusOK          = "ok"          // loaded cleanly
+	StatusCorrupt     = "corrupt"     // snapshot present but failed to parse/validate
+	StatusMissing     = "missing"     // no snapshot in the store
+	StatusStale       = "stale"       // snapshot older than BuildOptions.StaleAfter
+	StatusQuarantined = "quarantined" // read failed transiently or the loader panicked
+)
+
+// SourceStatus is one source's build outcome — the provenance row behind
+// the source_status relation.
+type SourceStatus struct {
+	Source     string
+	AsOf       time.Time // snapshot acquisition time (zero when missing)
+	Status     string    // one of the Status* constants
+	Err        string    // failure detail ("" when ok)
+	RowsLoaded int       // rows this source contributed across all relations
+}
+
+// Degraded reports whether any source failed to load cleanly.
+func (g *IGDB) Degraded() bool {
+	for _, st := range g.SourceStatus {
+		if st.Status != StatusOK {
+			return true
+		}
+	}
+	return false
+}
+
+// QuarantinedSources lists the sources that did not load cleanly.
+func (g *IGDB) QuarantinedSources() []string {
+	var out []string
+	for _, st := range g.SourceStatus {
+		if st.Status != StatusOK {
+			out = append(out, st.Source)
+		}
+	}
+	return out
 }
 
 // Standardize maps any coordinate to its closest urban area, returning the
@@ -119,46 +174,68 @@ func (g *IGDB) CityIndex(name, state, country string) int {
 	return -1
 }
 
+// loaderSpec binds one ingest source to the function that loads it. Every
+// source in ingest.Sources has exactly one spec, so fault isolation,
+// provenance, and quarantine are uniform across the pipeline.
+type loaderSpec struct {
+	source string
+	fn     func(*IGDB, ingest.Reader, BuildOptions) error
+}
+
+// loaders enumerates the per-source build steps in dependency order: the
+// gazetteer and right-of-way layers first (everything standardizes against
+// them), then the physical and logical sources, then validation-only
+// sources consumed downstream (routeviews feeds bdrmap in internal/paths).
+var loaders = []loaderSpec{
+	{"naturalearth", func(g *IGDB, s ingest.Reader, o BuildOptions) error {
+		if err := g.loadCities(s, o); err != nil {
+			return err
+		}
+		return g.loadRightOfWay(s, o)
+	}},
+	{"atlas", (*IGDB).loadAtlas},
+	{"peeringdb", (*IGDB).loadPeeringDB},
+	{"telegeography", (*IGDB).loadTelegeography},
+	{"pch", (*IGDB).loadPCH},
+	{"he", (*IGDB).loadHE},
+	{"euroix", (*IGDB).loadEuroIX},
+	{"rdns", (*IGDB).loadRDNS},
+	{"asrank", (*IGDB).loadASRank},
+	{"routeviews", (*IGDB).validateRouteViews},
+	{"ripeatlas", (*IGDB).loadAnchors},
+}
+
 // Build constructs the database from the snapshot store.
-func Build(store *ingest.Store, opts BuildOptions) (*IGDB, error) {
+//
+// In strict mode (the default) the first corrupt, missing, or stale source
+// aborts the build with an error naming it. With opts.Degraded the failing
+// source is quarantined instead: its loader's partial contribution (if any)
+// stays, the rest of the pipeline proceeds, and the outcome is recorded in
+// g.SourceStatus and the source_status relation so operators can query
+// exactly which sources the database was built without.
+func Build(store ingest.Reader, opts BuildOptions) (*IGDB, error) {
 	g := &IGDB{
 		Rel:     reldb.New(),
 		AsOf:    opts.AsOf,
 		cityIdx: make(map[string]int),
+		// An empty tree keeps Standardize total even when the gazetteer
+		// itself is quarantined in degraded mode.
+		tree: spatial.NewKDTree(nil),
 	}
 	if err := g.createSchema(); err != nil {
 		return nil, err
 	}
 	g.registerSQLFunctions()
 
-	if err := g.loadCities(store, opts); err != nil {
-		return nil, err
+	staleRef := staleReference(store, opts)
+	for _, l := range loaders {
+		st, err := g.runLoader(store, opts, l, staleRef)
+		if err != nil && !opts.Degraded {
+			return nil, fmt.Errorf("core: %s: %w", l.source, err)
+		}
+		g.SourceStatus = append(g.SourceStatus, st)
 	}
-	if err := g.loadRightOfWay(store, opts); err != nil {
-		return nil, err
-	}
-	if err := g.loadAtlas(store, opts); err != nil {
-		return nil, err
-	}
-	if err := g.loadPeeringDB(store, opts); err != nil {
-		return nil, err
-	}
-	if err := g.loadPCHAndHE(store, opts); err != nil {
-		return nil, err
-	}
-	if err := g.loadEuroIX(store, opts); err != nil {
-		return nil, err
-	}
-	if err := g.loadASRank(store, opts); err != nil {
-		return nil, err
-	}
-	if err := g.loadTelegeography(store, opts); err != nil {
-		return nil, err
-	}
-	if err := g.loadRDNS(store, opts); err != nil {
-		return nil, err
-	}
-	if err := g.loadAnchors(store, opts); err != nil {
+	if err := g.storeSourceStatus(); err != nil {
 		return nil, err
 	}
 	if err := g.inferStandardPaths(opts); err != nil {
@@ -166,6 +243,102 @@ func Build(store *ingest.Store, opts BuildOptions) (*IGDB, error) {
 	}
 	g.Paths = g.buildPathNetwork()
 	return g, nil
+}
+
+// runLoader executes one source's loader under fault isolation: the
+// snapshot is classified first (missing / transient / stale), the loader
+// runs with panic capture, and the outcome is summarized as a SourceStatus.
+func (g *IGDB) runLoader(store ingest.Reader, opts BuildOptions, l loaderSpec, staleRef time.Time) (SourceStatus, error) {
+	st := SourceStatus{Source: l.source, Status: StatusOK}
+	snap, err := store.Latest(l.source, opts.AsOf)
+	if err != nil {
+		st.Status, st.Err = classifyError(err)
+		return st, err
+	}
+	st.AsOf = snap.AsOf
+	if opts.StaleAfter > 0 && !staleRef.IsZero() && staleRef.Sub(snap.AsOf) > opts.StaleAfter {
+		st.Status = StatusStale
+		st.Err = fmt.Sprintf("snapshot from %s is older than %s (reference %s)",
+			snap.AsOf.UTC().Format(time.RFC3339), opts.StaleAfter, staleRef.UTC().Format(time.RFC3339))
+		return st, errors.New(st.Err)
+	}
+	before := g.totalRows()
+	err = func() (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = &panicError{fmt.Errorf("loader panicked: %v", r)}
+			}
+		}()
+		return l.fn(g, store, opts)
+	}()
+	st.RowsLoaded = g.totalRows() - before
+	if err != nil {
+		st.Status, st.Err = classifyError(err)
+		return st, err
+	}
+	return st, nil
+}
+
+// panicError marks a loader failure that came from a captured panic.
+type panicError struct{ err error }
+
+func (e *panicError) Error() string { return e.err.Error() }
+func (e *panicError) Unwrap() error { return e.err }
+
+// classifyError maps a loader failure to a source_status value.
+func classifyError(err error) (status, detail string) {
+	var pe *panicError
+	switch {
+	case errors.Is(err, ingest.ErrNoSnapshot):
+		return StatusMissing, err.Error()
+	case ingest.IsTransient(err), errors.As(err, &pe):
+		return StatusQuarantined, err.Error()
+	default:
+		return StatusCorrupt, err.Error()
+	}
+}
+
+// staleReference picks the instant staleness is measured against: AsOf
+// when pinned, otherwise the newest snapshot timestamp in the store.
+func staleReference(store ingest.Reader, opts BuildOptions) time.Time {
+	if !opts.AsOf.IsZero() {
+		return opts.AsOf
+	}
+	var ref time.Time
+	for _, src := range ingest.Sources {
+		for _, t := range store.Versions(src) {
+			if t.After(ref) {
+				ref = t
+			}
+		}
+	}
+	return ref
+}
+
+// totalRows sums every relation's cardinality (for per-source provenance).
+func (g *IGDB) totalRows() int {
+	n := 0
+	for _, name := range g.Rel.TableNames() {
+		n += g.Rel.Table(name).Len()
+	}
+	return n
+}
+
+// storeSourceStatus persists g.SourceStatus into the source_status
+// relation, making degradation queryable via SQL.
+func (g *IGDB) storeSourceStatus() error {
+	rows := make([][]reldb.Value, 0, len(g.SourceStatus))
+	for _, st := range g.SourceStatus {
+		asOf := ""
+		if !st.AsOf.IsZero() {
+			asOf = asOfText(st.AsOf)
+		}
+		rows = append(rows, []reldb.Value{
+			reldb.Text(st.Source), reldb.Text(st.Status), reldb.Text(st.Err),
+			reldb.Int(int64(st.RowsLoaded)), reldb.Text(asOf),
+		})
+	}
+	return g.Rel.BulkInsert("source_status", rows)
 }
 
 // createSchema creates every Figure 2 relation. as_of_date is mandatory on
@@ -199,6 +372,8 @@ func (g *IGDB) createSchema() error {
 			longitude REAL, as_of_date TEXT)`,
 		`CREATE TABLE ip_asn_dns (ip TEXT, asn INTEGER, hostname TEXT, metro TEXT,
 			state_province TEXT, country TEXT, geo_source TEXT, as_of_date TEXT)`,
+		`CREATE TABLE source_status (source TEXT, status TEXT, error TEXT,
+			rows_loaded INTEGER, as_of_date TEXT)`,
 		`CREATE INDEX ON asn_loc (asn)`,
 		`CREATE INDEX ON asn_name (asn)`,
 		`CREATE INDEX ON asn_org (asn)`,

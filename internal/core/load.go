@@ -14,6 +14,7 @@ import (
 	"igdb/internal/sources/peeringdb"
 	"igdb/internal/sources/rdns"
 	"igdb/internal/sources/ripeatlas"
+	"igdb/internal/sources/routeviews"
 	"igdb/internal/sources/telegeography"
 	"igdb/internal/spatial"
 	"igdb/internal/voronoi"
@@ -23,7 +24,7 @@ import (
 // loadCities builds the standard-city gazetteer, the k-d tree used by every
 // spatial join, the Thiessen tessellation, and the city_points/
 // city_polygons relations.
-func (g *IGDB) loadCities(store *ingest.Store, opts BuildOptions) error {
+func (g *IGDB) loadCities(store ingest.Reader, opts BuildOptions) error {
 	snap, err := store.Latest("naturalearth", opts.AsOf)
 	if err != nil {
 		return err
@@ -82,7 +83,7 @@ func (g *IGDB) loadCities(store *ingest.Store, opts BuildOptions) error {
 
 // loadAtlas standardizes Internet Atlas PoPs into phys_nodes and records the
 // logical PoP adjacencies for standard-path inference.
-func (g *IGDB) loadAtlas(store *ingest.Store, opts BuildOptions) error {
+func (g *IGDB) loadAtlas(store ingest.Reader, opts BuildOptions) error {
 	snap, err := store.Latest("atlas", opts.AsOf)
 	if err != nil {
 		return err
@@ -136,7 +137,7 @@ func (g *IGDB) loadAtlas(store *ingest.Store, opts BuildOptions) error {
 // loadPeeringDB fills phys_nodes (facilities), asn_name/asn_org, ixps and
 // asn_loc, flagging suspected remote peers (§3.3: an AS at an exchange with
 // no facility presence in the metro is classified as remote).
-func (g *IGDB) loadPeeringDB(store *ingest.Store, opts BuildOptions) error {
+func (g *IGDB) loadPeeringDB(store ingest.Reader, opts BuildOptions) error {
 	snap, err := store.Latest("peeringdb", opts.AsOf)
 	if err != nil {
 		return err
@@ -248,61 +249,32 @@ func (g *IGDB) loadPeeringDB(store *ingest.Store, opts BuildOptions) error {
 	return g.Rel.BulkInsert("asn_loc", locRows)
 }
 
-// loadPCHAndHE merges the two name-only IXP directories; cities resolve by
-// label against the standard gazetteer.
-func (g *IGDB) loadPCHAndHE(store *ingest.Store, opts BuildOptions) error {
-	pchSnap, err := store.Latest("pch", opts.AsOf)
-	if err != nil {
-		return err
-	}
-	pchRecs, err := pch.Parse(pchSnap.Files["ixpdir.tsv"])
-	if err != nil {
-		return err
-	}
-	pchOrgs, err := pch.ParseOrgs(pchSnap.Files["asn_orgs.tsv"])
-	if err != nil {
-		return err
-	}
-	var orgRows [][]reldb.Value
-	for _, o := range pchOrgs {
-		orgRows = append(orgRows, []reldb.Value{
-			reldb.Int(int64(o.ASN)), reldb.Text(o.Name), reldb.Text("pch"), reldb.Text(asOfText(pchSnap.AsOf)),
-		})
-	}
-	if err := g.Rel.BulkInsert("asn_org", orgRows); err != nil {
-		return err
-	}
-	heSnap, err := store.Latest("he", opts.AsOf)
-	if err != nil {
-		return err
-	}
-	heRecs, err := he.Parse(heSnap.Files["exchanges.txt"])
-	if err != nil {
-		return err
-	}
+// namedIXP is one record of a name-only IXP directory (PCH, HE).
+type namedIXP struct {
+	Name, City, Country string
+	ASNs                []int
+}
+
+// addNamedIXPs resolves name-only IXP directory records (PCH, HE) against
+// the standard gazetteer and inserts ixps + asn_loc rows.
+func (g *IGDB) addNamedIXPs(recs []namedIXP, source, asOf string) error {
 	var ixRows, locRows [][]reldb.Value
-	add := func(name, city, country, source, asOf string, asns []int) {
-		idx := g.CityByName(city, "", country)
+	for _, r := range recs {
+		idx := g.CityByName(r.City, "", r.Country)
 		if idx < 0 {
-			return // unresolvable metro label: dropped, as the paper does
+			continue // unresolvable metro label: dropped, as the paper does
 		}
 		c := g.Cities[idx]
 		ixRows = append(ixRows, []reldb.Value{
-			reldb.Text(name), reldb.Text(c.Name), reldb.Text(c.Country),
+			reldb.Text(r.Name), reldb.Text(c.Name), reldb.Text(c.Country),
 			reldb.Text(source), reldb.Text(asOf),
 		})
-		for _, asn := range asns {
+		for _, asn := range r.ASNs {
 			locRows = append(locRows, []reldb.Value{
 				reldb.Int(int64(asn)), reldb.Text(c.Name), reldb.Text(c.State),
 				reldb.Text(c.Country), reldb.Text(source), reldb.Bool(false), reldb.Text(asOf),
 			})
 		}
-	}
-	for _, r := range pchRecs {
-		add(r.Name, r.City, r.Country, "pch", asOfText(pchSnap.AsOf), r.ASNs)
-	}
-	for _, r := range heRecs {
-		add(r.Name, r.City, r.Country, "he", asOfText(heSnap.AsOf), r.ASNs)
 	}
 	if err := g.Rel.BulkInsert("ixps", ixRows); err != nil {
 		return err
@@ -310,8 +282,71 @@ func (g *IGDB) loadPCHAndHE(store *ingest.Store, opts BuildOptions) error {
 	return g.Rel.BulkInsert("asn_loc", locRows)
 }
 
+// loadPCH loads the PCH IXP directory and its ASN→organization registry;
+// cities resolve by label against the standard gazetteer.
+func (g *IGDB) loadPCH(store ingest.Reader, opts BuildOptions) error {
+	snap, err := store.Latest("pch", opts.AsOf)
+	if err != nil {
+		return err
+	}
+	recs, err := pch.Parse(snap.Files["ixpdir.tsv"])
+	if err != nil {
+		return err
+	}
+	orgs, err := pch.ParseOrgs(snap.Files["asn_orgs.tsv"])
+	if err != nil {
+		return err
+	}
+	asOf := asOfText(snap.AsOf)
+	var orgRows [][]reldb.Value
+	for _, o := range orgs {
+		orgRows = append(orgRows, []reldb.Value{
+			reldb.Int(int64(o.ASN)), reldb.Text(o.Name), reldb.Text("pch"), reldb.Text(asOf),
+		})
+	}
+	if err := g.Rel.BulkInsert("asn_org", orgRows); err != nil {
+		return err
+	}
+	named := make([]namedIXP, len(recs))
+	for i, r := range recs {
+		named[i] = namedIXP{r.Name, r.City, r.Country, r.ASNs}
+	}
+	return g.addNamedIXPs(named, "pch", asOf)
+}
+
+// loadHE loads the Hurricane Electric exchange report, the second
+// name-only IXP directory.
+func (g *IGDB) loadHE(store ingest.Reader, opts BuildOptions) error {
+	snap, err := store.Latest("he", opts.AsOf)
+	if err != nil {
+		return err
+	}
+	recs, err := he.Parse(snap.Files["exchanges.txt"])
+	if err != nil {
+		return err
+	}
+	named := make([]namedIXP, len(recs))
+	for i, r := range recs {
+		named[i] = namedIXP{r.Name, r.City, r.Country, r.ASNs}
+	}
+	return g.addNamedIXPs(named, "he", asOfText(snap.AsOf))
+}
+
+// validateRouteViews parses the pfx2as table without materializing a
+// relation: core stores nothing from RouteViews, but the paths pipeline
+// builds its bdrmap trie from it, so the build validates (and the degraded
+// mode quarantines) it like every other source.
+func (g *IGDB) validateRouteViews(store ingest.Reader, opts BuildOptions) error {
+	snap, err := store.Latest("routeviews", opts.AsOf)
+	if err != nil {
+		return err
+	}
+	_, err = routeviews.Parse(snap.Files["pfx2as.tsv"])
+	return err
+}
+
 // loadEuroIX adds the European exchange feed.
-func (g *IGDB) loadEuroIX(store *ingest.Store, opts BuildOptions) error {
+func (g *IGDB) loadEuroIX(store ingest.Reader, opts BuildOptions) error {
 	snap, err := store.Latest("euroix", opts.AsOf)
 	if err != nil {
 		return err
@@ -352,7 +387,7 @@ func (g *IGDB) loadEuroIX(store *ingest.Store, opts BuildOptions) error {
 }
 
 // loadASRank fills asn_name/asn_org (WHOIS flavor) and the asn_conn graph.
-func (g *IGDB) loadASRank(store *ingest.Store, opts BuildOptions) error {
+func (g *IGDB) loadASRank(store ingest.Reader, opts BuildOptions) error {
 	snap, err := store.Latest("asrank", opts.AsOf)
 	if err != nil {
 		return err
@@ -390,7 +425,7 @@ func (g *IGDB) loadASRank(store *ingest.Store, opts BuildOptions) error {
 }
 
 // loadTelegeography fills sub_cables and land_points.
-func (g *IGDB) loadTelegeography(store *ingest.Store, opts BuildOptions) error {
+func (g *IGDB) loadTelegeography(store ingest.Reader, opts BuildOptions) error {
 	snap, err := store.Latest("telegeography", opts.AsOf)
 	if err != nil {
 		return err
@@ -425,7 +460,7 @@ func (g *IGDB) loadTelegeography(store *ingest.Store, opts BuildOptions) error {
 }
 
 // loadRDNS fills the rdns relation.
-func (g *IGDB) loadRDNS(store *ingest.Store, opts BuildOptions) error {
+func (g *IGDB) loadRDNS(store ingest.Reader, opts BuildOptions) error {
 	snap, err := store.Latest("rdns", opts.AsOf)
 	if err != nil {
 		return err
@@ -446,7 +481,7 @@ func (g *IGDB) loadRDNS(store *ingest.Store, opts BuildOptions) error {
 
 // loadAnchors fills the anchors relation — the direct ASN↔location bridge
 // RIPE Atlas provides.
-func (g *IGDB) loadAnchors(store *ingest.Store, opts BuildOptions) error {
+func (g *IGDB) loadAnchors(store ingest.Reader, opts BuildOptions) error {
 	snap, err := store.Latest("ripeatlas", opts.AsOf)
 	if err != nil {
 		return err

@@ -78,7 +78,7 @@ func (rn *RowNetwork) concat(nodes []int) []geo.Point {
 
 // loadRightOfWay builds the RowNetwork from the Natural Earth road/rail
 // layers: each segment endpoint snaps to its standard city.
-func (g *IGDB) loadRightOfWay(store *ingest.Store, opts BuildOptions) error {
+func (g *IGDB) loadRightOfWay(store ingest.Reader, opts BuildOptions) error {
 	snap, err := store.Latest("naturalearth", opts.AsOf)
 	if err != nil {
 		return err
@@ -131,6 +131,11 @@ func (g *IGDB) loadRightOfWay(store *ingest.Store, opts BuildOptions) error {
 // right-of-way network and stores the result in std_paths. Pairs are
 // grouped by source city so one Dijkstra serves all pairs from that city.
 func (g *IGDB) inferStandardPaths(opts BuildOptions) error {
+	if g.Row == nil {
+		// Degraded build with the right-of-way layer quarantined: no
+		// network to route along, so no standard paths.
+		return nil
+	}
 	adj := g.pendingAdjacencies
 	if opts.MaxStandardPaths > 0 && len(adj) > opts.MaxStandardPaths {
 		adj = adj[:opts.MaxStandardPaths]

@@ -3,15 +3,21 @@
 // acquisition time, and stores the raw bytes so the database can be rebuilt
 // for any historical as-of date. In the paper the sources are live web
 // endpoints; here they are the worldgen-backed emulations, but the
-// snapshot/refresh mechanics are identical.
+// snapshot/refresh mechanics are identical — including the failure
+// mechanics: sources time out, return garbage, or disappear, so collection
+// retries transient errors with jittered exponential backoff and the build
+// side can quarantine sources it cannot parse (core.BuildOptions.Degraded).
 package ingest
 
 import (
+	"errors"
 	"fmt"
+	"math/rand"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"igdb/internal/sources/asrank"
@@ -34,6 +40,34 @@ var Sources = []string{
 	"euroix", "rdns", "asrank", "routeviews", "ripeatlas",
 }
 
+// ErrNoSnapshot reports that a store holds no usable snapshot of a source.
+// Callers distinguish "missing" from "corrupt" with errors.Is.
+var ErrNoSnapshot = errors.New("ingest: no snapshot")
+
+// transientError marks an error as retryable: the read may succeed if
+// attempted again (timeouts, connection resets, rate limits). Parse errors
+// are never transient — retrying a malformed document returns the same
+// malformed document.
+type transientError struct{ err error }
+
+func (e *transientError) Error() string { return e.err.Error() }
+func (e *transientError) Unwrap() error { return e.err }
+
+// Transient wraps err so IsTransient reports true. A nil err returns nil.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientError{err: err}
+}
+
+// IsTransient reports whether err (or anything it wraps) was marked
+// retryable with Transient.
+func IsTransient(err error) bool {
+	var te *transientError
+	return errors.As(err, &te)
+}
+
 // Snapshot is one timestamped pull of one source.
 type Snapshot struct {
 	Source string
@@ -41,13 +75,41 @@ type Snapshot struct {
 	Files  map[string][]byte
 }
 
+// Reader is the read side of a snapshot store: what core.Build and the
+// paths pipeline consume. chaos.Store wraps any Reader to inject faults.
+type Reader interface {
+	// Latest returns the most recent snapshot of a source at or before
+	// asOf (zero asOf = newest). A store with nothing usable returns an
+	// error wrapping ErrNoSnapshot.
+	Latest(source string, asOf time.Time) (Snapshot, error)
+	// Versions lists the snapshot timestamps available for a source.
+	Versions(source string) []time.Time
+}
+
+// Reloader is a Reader that can pick up snapshots collected since it was
+// opened (the server's periodic rebuild path).
+type Reloader interface {
+	Reader
+	Load() error
+}
+
 // Store persists snapshots. A Store with an empty dir keeps everything in
 // memory (the common case for tests and benchmarks); with a dir it mirrors
 // the paper's on-disk layout <dir>/<source>/<timestamp>/<file>.
+//
+// A Store is safe for concurrent use: the server's background rebuild
+// re-reads it while a collector may still be appending snapshots.
 type Store struct {
 	dir string
+
+	mu  sync.RWMutex
 	mem map[string][]Snapshot
 }
+
+var (
+	_ Reader   = (*Store)(nil)
+	_ Reloader = (*Store)(nil)
+)
 
 // NewStore creates a snapshot store. dir may be "" for memory-only.
 func NewStore(dir string) *Store {
@@ -61,10 +123,12 @@ func (s *Store) Save(snap Snapshot) error {
 	if snap.Source == "" {
 		return fmt.Errorf("ingest: snapshot without source")
 	}
+	s.mu.Lock()
 	s.mem[snap.Source] = append(s.mem[snap.Source], snap)
 	sort.Slice(s.mem[snap.Source], func(i, j int) bool {
 		return s.mem[snap.Source][i].AsOf.Before(s.mem[snap.Source][j].AsOf)
 	})
+	s.mu.Unlock()
 	if s.dir == "" {
 		return nil
 	}
@@ -95,6 +159,8 @@ func (s *Store) Load() error {
 		}
 		return err
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	for _, src := range entries {
 		if !src.IsDir() {
 			continue
@@ -111,7 +177,7 @@ func (s *Store) Load() error {
 			if err != nil {
 				continue
 			}
-			if s.has(src.Name(), asOf) {
+			if s.hasLocked(src.Name(), asOf) {
 				continue
 			}
 			snap := Snapshot{Source: src.Name(), AsOf: asOf, Files: map[string][]byte{}}
@@ -135,7 +201,7 @@ func (s *Store) Load() error {
 	return nil
 }
 
-func (s *Store) has(source string, asOf time.Time) bool {
+func (s *Store) hasLocked(source string, asOf time.Time) bool {
 	for _, sn := range s.mem[source] {
 		if sn.AsOf.Equal(asOf) {
 			return true
@@ -147,9 +213,11 @@ func (s *Store) has(source string, asOf time.Time) bool {
 // Latest returns the most recent snapshot of a source at or before asOf.
 // A zero asOf means "newest available".
 func (s *Store) Latest(source string, asOf time.Time) (Snapshot, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	snaps := s.mem[source]
 	if len(snaps) == 0 {
-		return Snapshot{}, fmt.Errorf("ingest: no snapshots for %q", source)
+		return Snapshot{}, fmt.Errorf("%w: no snapshots for %q", ErrNoSnapshot, source)
 	}
 	if asOf.IsZero() {
 		return snaps[len(snaps)-1], nil
@@ -161,13 +229,15 @@ func (s *Store) Latest(source string, asOf time.Time) (Snapshot, error) {
 		}
 	}
 	if best == nil {
-		return Snapshot{}, fmt.Errorf("ingest: no snapshot of %q at or before %s", source, asOf)
+		return Snapshot{}, fmt.Errorf("%w: no snapshot of %q at or before %s", ErrNoSnapshot, source, asOf)
 	}
 	return *best, nil
 }
 
 // Versions lists the snapshot timestamps available for a source.
 func (s *Store) Versions(source string) []time.Time {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	var out []time.Time
 	for _, sn := range s.mem[source] {
 		out = append(out, sn.AsOf)
@@ -175,49 +245,215 @@ func (s *Store) Versions(source string) []time.Time {
 	return out
 }
 
-// Collect pulls a fresh snapshot of every source from the (emulated) live
-// Internet and saves it with the given acquisition time.
-func Collect(w *worldgen.World, store *Store, asOf time.Time) error {
-	ne := naturalearth.Export(w)
-	at := atlas.Export(w)
-	pdbDump := peeringdb.Export(w)
-	pdbRaw, err := peeringdb.Marshal(pdbDump)
-	if err != nil {
-		return fmt.Errorf("ingest: peeringdb: %w", err)
+// CollectOptions tunes the per-source retry loop. The zero value means
+// "3 attempts, 100ms base backoff, fail the whole collection on the first
+// exhausted source" — the strict semantics Collect always had.
+type CollectOptions struct {
+	// MaxAttempts bounds tries per source (<=0 means 3).
+	MaxAttempts int
+	// BaseBackoff is the first retry delay; it doubles per attempt
+	// (<=0 means 100ms).
+	BaseBackoff time.Duration
+	// MaxBackoff caps the doubled delay (<=0 means 5s).
+	MaxBackoff time.Duration
+	// Seed drives the backoff jitter (0.5x–1.5x), so tests are
+	// reproducible.
+	Seed int64
+	// ContinueOnError keeps collecting remaining sources after one
+	// exhausts its attempt budget; the failure is reported in the
+	// CollectReport instead of aborting.
+	ContinueOnError bool
+	// Sleep replaces time.Sleep between attempts (tests).
+	Sleep func(time.Duration)
+	// Intercept, when set, runs before each fetch attempt and may return
+	// an error to inject a fault (chaos.FlakySources builds these).
+	// Transient errors are retried; permanent ones are not.
+	Intercept func(source string, attempt int) error
+	// Logf receives retry/give-up notices (default: silent).
+	Logf func(format string, args ...interface{})
+}
+
+func (o *CollectOptions) fillDefaults() {
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 3
 	}
-	tgRaw, err := telegeography.Marshal(telegeography.Export(w))
-	if err != nil {
-		return fmt.Errorf("ingest: telegeography: %w", err)
+	if o.BaseBackoff <= 0 {
+		o.BaseBackoff = 100 * time.Millisecond
 	}
-	exRaw, err := euroix.Marshal(euroix.Export(w))
-	if err != nil {
-		return fmt.Errorf("ingest: euroix: %w", err)
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = 5 * time.Second
 	}
-	ar, err := asrank.Export(w)
-	if err != nil {
-		return fmt.Errorf("ingest: asrank: %w", err)
+	if o.Sleep == nil {
+		o.Sleep = time.Sleep
 	}
-	ra, err := ripeatlas.Export(w)
-	if err != nil {
-		return fmt.Errorf("ingest: ripeatlas: %w", err)
+	if o.Logf == nil {
+		o.Logf = func(string, ...interface{}) {}
 	}
-	snaps := []Snapshot{
-		{Source: "naturalearth", AsOf: asOf, Files: map[string][]byte{"places.csv": ne.PlacesCSV, "roads.csv": ne.RoadsCSV}},
-		{Source: "atlas", AsOf: asOf, Files: map[string][]byte{"nodes.csv": at.NodesCSV, "links.csv": at.LinksCSV}},
-		{Source: "peeringdb", AsOf: asOf, Files: map[string][]byte{"dump.json": pdbRaw}},
-		{Source: "telegeography", AsOf: asOf, Files: map[string][]byte{"cables.json": tgRaw}},
-		{Source: "pch", AsOf: asOf, Files: map[string][]byte{"ixpdir.tsv": pch.Export(w), "asn_orgs.tsv": pch.ExportOrgs(w)}},
-		{Source: "he", AsOf: asOf, Files: map[string][]byte{"exchanges.txt": he.Export(w)}},
-		{Source: "euroix", AsOf: asOf, Files: map[string][]byte{"ixps.json": exRaw}},
-		{Source: "rdns", AsOf: asOf, Files: map[string][]byte{"ptr.tsv": rdns.Export(w)}},
-		{Source: "asrank", AsOf: asOf, Files: map[string][]byte{"asns.jsonl": ar.ASNsJSONL, "links.txt": ar.LinksTxt}},
-		{Source: "routeviews", AsOf: asOf, Files: map[string][]byte{"pfx2as.tsv": routeviews.Export(w)}},
-		{Source: "ripeatlas", AsOf: asOf, Files: map[string][]byte{"anchors.json": ra.AnchorsJSON, "measurements.jsonl": ra.MeasurementsJSONL}},
-	}
-	for _, sn := range snaps {
-		if err := store.Save(sn); err != nil {
-			return fmt.Errorf("ingest: save %s: %w", sn.Source, err)
+}
+
+// SourceResult is one source's collection outcome.
+type SourceResult struct {
+	Source   string
+	Attempts int
+	Err      error // nil when the snapshot was saved
+}
+
+// CollectReport summarizes one CollectWith run.
+type CollectReport struct {
+	Results []SourceResult
+}
+
+// Failed lists the sources that exhausted their attempt budget.
+func (r *CollectReport) Failed() []string {
+	var out []string
+	for _, res := range r.Results {
+		if res.Err != nil {
+			out = append(out, res.Source)
 		}
 	}
-	return nil
+	return out
+}
+
+// fetcher pulls one source's files from the (emulated) live Internet.
+type fetcher struct {
+	source string
+	fetch  func(w *worldgen.World) (map[string][]byte, error)
+}
+
+// fetchers enumerates every source in Sources order.
+var fetchers = []fetcher{
+	{"naturalearth", func(w *worldgen.World) (map[string][]byte, error) {
+		ne := naturalearth.Export(w)
+		return map[string][]byte{"places.csv": ne.PlacesCSV, "roads.csv": ne.RoadsCSV}, nil
+	}},
+	{"atlas", func(w *worldgen.World) (map[string][]byte, error) {
+		at := atlas.Export(w)
+		return map[string][]byte{"nodes.csv": at.NodesCSV, "links.csv": at.LinksCSV}, nil
+	}},
+	{"peeringdb", func(w *worldgen.World) (map[string][]byte, error) {
+		raw, err := peeringdb.Marshal(peeringdb.Export(w))
+		if err != nil {
+			return nil, err
+		}
+		return map[string][]byte{"dump.json": raw}, nil
+	}},
+	{"telegeography", func(w *worldgen.World) (map[string][]byte, error) {
+		raw, err := telegeography.Marshal(telegeography.Export(w))
+		if err != nil {
+			return nil, err
+		}
+		return map[string][]byte{"cables.json": raw}, nil
+	}},
+	{"pch", func(w *worldgen.World) (map[string][]byte, error) {
+		return map[string][]byte{"ixpdir.tsv": pch.Export(w), "asn_orgs.tsv": pch.ExportOrgs(w)}, nil
+	}},
+	{"he", func(w *worldgen.World) (map[string][]byte, error) {
+		return map[string][]byte{"exchanges.txt": he.Export(w)}, nil
+	}},
+	{"euroix", func(w *worldgen.World) (map[string][]byte, error) {
+		raw, err := euroix.Marshal(euroix.Export(w))
+		if err != nil {
+			return nil, err
+		}
+		return map[string][]byte{"ixps.json": raw}, nil
+	}},
+	{"rdns", func(w *worldgen.World) (map[string][]byte, error) {
+		return map[string][]byte{"ptr.tsv": rdns.Export(w)}, nil
+	}},
+	{"asrank", func(w *worldgen.World) (map[string][]byte, error) {
+		ar, err := asrank.Export(w)
+		if err != nil {
+			return nil, err
+		}
+		return map[string][]byte{"asns.jsonl": ar.ASNsJSONL, "links.txt": ar.LinksTxt}, nil
+	}},
+	{"routeviews", func(w *worldgen.World) (map[string][]byte, error) {
+		return map[string][]byte{"pfx2as.tsv": routeviews.Export(w)}, nil
+	}},
+	{"ripeatlas", func(w *worldgen.World) (map[string][]byte, error) {
+		ra, err := ripeatlas.Export(w)
+		if err != nil {
+			return nil, err
+		}
+		return map[string][]byte{"anchors.json": ra.AnchorsJSON, "measurements.jsonl": ra.MeasurementsJSONL}, nil
+	}},
+}
+
+// Collect pulls a fresh snapshot of every source from the (emulated) live
+// Internet and saves it with the given acquisition time. It is CollectWith
+// under default options: 3 attempts per source, exponential backoff, abort
+// on the first source that exhausts its budget.
+func Collect(w *worldgen.World, store *Store, asOf time.Time) error {
+	_, err := CollectWith(w, store, asOf, CollectOptions{})
+	return err
+}
+
+// CollectWith pulls every source under the given fault-tolerance options.
+// Each source gets its own attempt budget; transient errors back off with
+// jittered exponential delay and retry, permanent (parse/marshal) errors
+// fail the source immediately. The returned report always covers every
+// attempted source, even when an error is also returned.
+func CollectWith(w *worldgen.World, store *Store, asOf time.Time, opts CollectOptions) (*CollectReport, error) {
+	opts.fillDefaults()
+	rng := rand.New(rand.NewSource(opts.Seed))
+	report := &CollectReport{}
+	var firstErr error
+	for _, f := range fetchers {
+		res := SourceResult{Source: f.source}
+		var files map[string][]byte
+		for attempt := 1; attempt <= opts.MaxAttempts; attempt++ {
+			res.Attempts = attempt
+			var err error
+			if opts.Intercept != nil {
+				err = opts.Intercept(f.source, attempt)
+			}
+			if err == nil {
+				files, err = f.fetch(w)
+			}
+			if err == nil {
+				res.Err = nil
+				break
+			}
+			res.Err = err
+			if !IsTransient(err) {
+				opts.Logf("ingest: %s: permanent error, not retrying: %v", f.source, err)
+				break
+			}
+			if attempt == opts.MaxAttempts {
+				opts.Logf("ingest: %s: attempt budget (%d) exhausted: %v", f.source, opts.MaxAttempts, err)
+				break
+			}
+			delay := backoff(opts.BaseBackoff, opts.MaxBackoff, attempt, rng)
+			opts.Logf("ingest: %s: attempt %d/%d failed (%v), retrying in %v",
+				f.source, attempt, opts.MaxAttempts, err, delay)
+			opts.Sleep(delay)
+		}
+		if res.Err == nil {
+			if err := store.Save(Snapshot{Source: f.source, AsOf: asOf, Files: files}); err != nil {
+				res.Err = fmt.Errorf("save: %w", err)
+			}
+		}
+		report.Results = append(report.Results, res)
+		if res.Err != nil {
+			wrapped := fmt.Errorf("ingest: %s: %w", f.source, res.Err)
+			if !opts.ContinueOnError {
+				return report, wrapped
+			}
+			if firstErr == nil {
+				firstErr = wrapped
+			}
+		}
+	}
+	return report, firstErr
+}
+
+// backoff computes the delay before retry #attempt: base doubled per
+// attempt, capped, then jittered to 50–150% so a fleet of collectors does
+// not retry in lockstep.
+func backoff(base, cap time.Duration, attempt int, rng *rand.Rand) time.Duration {
+	d := base << (attempt - 1)
+	if d > cap || d <= 0 {
+		d = cap
+	}
+	return time.Duration(float64(d) * (0.5 + rng.Float64()))
 }

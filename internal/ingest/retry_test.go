@@ -1,0 +1,232 @@
+package ingest_test
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"igdb/internal/chaos"
+	"igdb/internal/ingest"
+	"igdb/internal/worldgen"
+)
+
+var (
+	retryOnce  sync.Once
+	retryWorld *worldgen.World
+)
+
+func smallWorld(t *testing.T) *worldgen.World {
+	t.Helper()
+	retryOnce.Do(func() { retryWorld = worldgen.Generate(worldgen.SmallConfig()) })
+	return retryWorld
+}
+
+// sleepRecorder captures backoff delays instead of sleeping.
+type sleepRecorder struct {
+	mu     sync.Mutex
+	sleeps []time.Duration
+}
+
+func (r *sleepRecorder) sleep(d time.Duration) {
+	r.mu.Lock()
+	r.sleeps = append(r.sleeps, d)
+	r.mu.Unlock()
+}
+
+func (r *sleepRecorder) all() []time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]time.Duration(nil), r.sleeps...)
+}
+
+// TestCollectRetriesTransient: a source that fails transiently twice under
+// a 3-attempt budget collects successfully, with jittered exponential
+// backoff between attempts.
+func TestCollectRetriesTransient(t *testing.T) {
+	store := ingest.NewStore("")
+	rec := &sleepRecorder{}
+	base := 10 * time.Millisecond
+	report, err := ingest.CollectWith(smallWorld(t), store, time.Unix(1780000000, 0).UTC(), ingest.CollectOptions{
+		MaxAttempts: 3,
+		BaseBackoff: base,
+		MaxBackoff:  time.Second,
+		Sleep:       rec.sleep,
+		Intercept:   chaos.FlakySources(map[string]int{"pch": 2}),
+	})
+	if err != nil {
+		t.Fatalf("collect failed despite sufficient budget: %v", err)
+	}
+	for _, res := range report.Results {
+		want := 1
+		if res.Source == "pch" {
+			want = 3
+		}
+		if res.Attempts != want {
+			t.Errorf("%s attempts = %d, want %d", res.Source, res.Attempts, want)
+		}
+	}
+	if _, err := store.Latest("pch", time.Time{}); err != nil {
+		t.Fatalf("pch snapshot missing after successful retry: %v", err)
+	}
+	sleeps := rec.all()
+	if len(sleeps) != 2 {
+		t.Fatalf("backoff sleeps = %v, want 2 entries", sleeps)
+	}
+	// Jitter multiplies by [0.5, 1.5): attempt 1 sleeps in [base/2, 3base/2),
+	// attempt 2 doubles that.
+	bounds := [][2]time.Duration{
+		{base / 2, 3 * base / 2},
+		{base, 3 * base},
+	}
+	for i, d := range sleeps {
+		if d < bounds[i][0] || d >= bounds[i][1] {
+			t.Errorf("sleep %d = %v, want in [%v, %v)", i, d, bounds[i][0], bounds[i][1])
+		}
+	}
+}
+
+// TestCollectPermanentErrorNotRetried: a non-transient failure consumes one
+// attempt and fails the source immediately, with no backoff.
+func TestCollectPermanentErrorNotRetried(t *testing.T) {
+	store := ingest.NewStore("")
+	rec := &sleepRecorder{}
+	boom := errors.New("schema validation failed")
+	report, err := ingest.CollectWith(smallWorld(t), store, time.Unix(1780000000, 0).UTC(), ingest.CollectOptions{
+		MaxAttempts: 5,
+		Sleep:       rec.sleep,
+		Intercept: func(source string, attempt int) error {
+			if source == "euroix" {
+				return boom
+			}
+			return nil
+		},
+	})
+	if err == nil {
+		t.Fatal("collect succeeded despite permanent failure")
+	}
+	if !strings.Contains(err.Error(), "euroix") {
+		t.Fatalf("error does not name the failed source: %v", err)
+	}
+	for _, res := range report.Results {
+		if res.Source == "euroix" && res.Attempts != 1 {
+			t.Errorf("permanent error retried: %d attempts", res.Attempts)
+		}
+	}
+	if len(rec.all()) != 0 {
+		t.Errorf("permanent error backed off: %v", rec.all())
+	}
+}
+
+// TestCollectBudgetExhausted: a source that never stops failing transiently
+// exhausts its budget and reports the wrapped transient error.
+func TestCollectBudgetExhausted(t *testing.T) {
+	store := ingest.NewStore("")
+	report, err := ingest.CollectWith(smallWorld(t), store, time.Unix(1780000000, 0).UTC(), ingest.CollectOptions{
+		MaxAttempts: 2,
+		Sleep:       func(time.Duration) {},
+		Intercept:   chaos.FlakySources(map[string]int{"rdns": 100}),
+	})
+	if err == nil || !strings.Contains(err.Error(), "rdns") {
+		t.Fatalf("want rdns budget-exhausted error, got %v", err)
+	}
+	if !ingest.IsTransient(err) {
+		t.Fatalf("exhausted-budget error lost its transient marker: %v", err)
+	}
+	for _, res := range report.Results {
+		if res.Source == "rdns" && res.Attempts != 2 {
+			t.Errorf("rdns attempts = %d, want 2", res.Attempts)
+		}
+	}
+}
+
+// TestCollectContinueOnError: with ContinueOnError one failed source does
+// not stop the rest from being collected.
+func TestCollectContinueOnError(t *testing.T) {
+	store := ingest.NewStore("")
+	report, err := ingest.CollectWith(smallWorld(t), store, time.Unix(1780000000, 0).UTC(), ingest.CollectOptions{
+		MaxAttempts:     1,
+		ContinueOnError: true,
+		Sleep:           func(time.Duration) {},
+		Intercept:       chaos.FlakySources(map[string]int{"atlas": 100}),
+	})
+	if err == nil {
+		t.Fatal("continue-on-error still reports the first failure")
+	}
+	failed := report.Failed()
+	if len(failed) != 1 || failed[0] != "atlas" {
+		t.Fatalf("failed = %v, want [atlas]", failed)
+	}
+	for _, src := range ingest.Sources {
+		_, lerr := store.Latest(src, time.Time{})
+		if src == "atlas" {
+			if !errors.Is(lerr, ingest.ErrNoSnapshot) {
+				t.Errorf("atlas: want ErrNoSnapshot, got %v", lerr)
+			}
+			continue
+		}
+		if lerr != nil {
+			t.Errorf("%s not collected after unrelated failure: %v", src, lerr)
+		}
+	}
+}
+
+// TestStoreConcurrentAccess is the -race regression for the latent bug this
+// PR fixes: Store.Save used to mutate s.mem with no lock while the server's
+// rebuild re-read it.
+func TestStoreConcurrentAccess(t *testing.T) {
+	store := ingest.NewStore("")
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(2)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				snap := ingest.Snapshot{
+					Source: fmt.Sprintf("src%d", i),
+					AsOf:   time.Unix(int64(1780000000+j), 0).UTC(),
+					Files:  map[string][]byte{"f": []byte("data")},
+				}
+				if err := store.Save(snap); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(i)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				_, _ = store.Latest(fmt.Sprintf("src%d", i), time.Time{})
+				_ = store.Versions(fmt.Sprintf("src%d", i))
+				_ = store.Load()
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+// TestChaosTransientIsRetryable: the chaos store's transient faults carry
+// the ingest retryable marker and clear after N reads.
+func TestChaosTransientIsRetryable(t *testing.T) {
+	base := ingest.NewStore("")
+	if err := base.Save(ingest.Snapshot{
+		Source: "pch",
+		AsOf:   time.Unix(1780000000, 0).UTC(),
+		Files:  map[string][]byte{"ixpdir.tsv": []byte("x\ty\n")},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	cs := chaos.New(base, 1)
+	cs.Inject("pch", chaos.Transient(2))
+	for i := 0; i < 2; i++ {
+		_, err := cs.Latest("pch", time.Time{})
+		if !ingest.IsTransient(err) {
+			t.Fatalf("read %d: want transient error, got %v", i, err)
+		}
+	}
+	if _, err := cs.Latest("pch", time.Time{}); err != nil {
+		t.Fatalf("read after budget: %v", err)
+	}
+}

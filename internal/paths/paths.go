@@ -50,7 +50,7 @@ type Pipeline struct {
 
 // NewPipeline loads the measurement-side snapshots and trains the learned
 // components (bdrmap domain votes, Hoiho conventions).
-func NewPipeline(g *core.IGDB, store *ingest.Store) (*Pipeline, error) {
+func NewPipeline(g *core.IGDB, store ingest.Reader) (*Pipeline, error) {
 	p := &Pipeline{
 		G:            g,
 		PTR:          make(map[uint32]string),

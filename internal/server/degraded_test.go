@@ -1,0 +1,167 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"igdb/internal/chaos"
+)
+
+// getJSON fetches a path and decodes the JSON body into v.
+func getJSON(t *testing.T, h http.Handler, path string, v interface{}) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	if v != nil && rec.Code == http.StatusOK {
+		if err := json.Unmarshal(rec.Body.Bytes(), v); err != nil {
+			t.Fatalf("bad JSON from %s: %v\n%s", path, err, rec.Body.String())
+		}
+	}
+	return rec
+}
+
+// TestFailedRebuildKeepsOldSnapshot: when a rebuild fails, the previous
+// snapshot keeps serving /sql, /healthz flips to degraded with the rebuild
+// error, and /metrics counts the failure — the operator-visible contract.
+func TestFailedRebuildKeepsOldSnapshot(t *testing.T) {
+	cs := chaos.New(sharedStore(t), 7)
+	s := newTestServer(t, Config{Store: cs})
+	h := s.Handler()
+	firstSeq := s.SnapshotSeq()
+
+	// Break a source, then ask for a rebuild: it must fail loudly...
+	cs.Inject("peeringdb", chaos.Drop())
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/admin/rebuild", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("rebuild with dropped source: status %d, want 500", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "peeringdb") {
+		t.Fatalf("rebuild error does not name the source: %s", rec.Body.String())
+	}
+
+	// ...while the old snapshot keeps answering.
+	rc, resp := postSQL(t, h, `SELECT COUNT(*) FROM city_points`)
+	if rc.Code != http.StatusOK {
+		t.Fatalf("/sql after failed rebuild: %d %s", rc.Code, rc.Body.String())
+	}
+	if resp.SnapshotSeq != firstSeq {
+		t.Fatalf("snapshot seq changed after failed rebuild: %d -> %d", firstSeq, resp.SnapshotSeq)
+	}
+	if resp.RowCount == 0 {
+		t.Fatal("old snapshot served no rows")
+	}
+
+	var rep healthReport
+	getJSON(t, h, "/healthz", &rep)
+	if rep.Status != "degraded" || !rep.Degraded {
+		t.Fatalf("healthz after failed rebuild = %q (degraded=%v), want degraded", rep.Status, rep.Degraded)
+	}
+	if !strings.Contains(rep.LastRebuildErr, "peeringdb") {
+		t.Fatalf("healthz last_rebuild_error = %q, want it to name peeringdb", rep.LastRebuildErr)
+	}
+
+	mrec := getJSON(t, h, "/metrics", nil)
+	body := mrec.Body.String()
+	if !strings.Contains(body, "igdb_rebuild_errors_total 1") {
+		t.Errorf("metrics missing rebuild failure count:\n%s", body)
+	}
+	if !strings.Contains(body, "igdb_degraded 1") {
+		t.Errorf("metrics missing degraded gauge:\n%s", body)
+	}
+
+	// Healing the source heals the server.
+	cs.Clear("peeringdb")
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/admin/rebuild", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("rebuild after heal: %d %s", rec.Code, rec.Body.String())
+	}
+	var healed healthReport
+	getJSON(t, h, "/healthz", &healed)
+	if healed.Status != "ok" || healed.LastRebuildErr != "" {
+		t.Fatalf("healthz after heal = %q (last err %q), want ok", healed.Status, healed.LastRebuildErr)
+	}
+	if got := s.SnapshotSeq(); got != firstSeq+1 {
+		t.Fatalf("snapshot seq after heal = %d, want %d", got, firstSeq+1)
+	}
+}
+
+// TestDegradedServerQuarantines: with Config.Degraded a corrupt source does
+// not stop the server from coming up; /healthz itemizes the quarantine and
+// source_status is queryable over /sql.
+func TestDegradedServerQuarantines(t *testing.T) {
+	cs := chaos.New(sharedStore(t), 11)
+	cs.Inject("he", chaos.Garble(""))
+	s := newTestServer(t, Config{Store: cs, Degraded: true})
+	h := s.Handler()
+
+	var rep healthReport
+	getJSON(t, h, "/healthz", &rep)
+	if rep.Status != "degraded" {
+		t.Fatalf("healthz status = %q, want degraded", rep.Status)
+	}
+	if len(rep.Quarantined) != 1 || rep.Quarantined[0] != "he" {
+		t.Fatalf("quarantined = %v, want [he]", rep.Quarantined)
+	}
+	found := false
+	for _, src := range rep.Sources {
+		if src.Source == "he" {
+			found = true
+			if src.Status != "corrupt" || src.Error == "" {
+				t.Errorf("he health = %+v, want corrupt with error detail", src)
+			}
+		} else if src.Status != "ok" {
+			t.Errorf("healthy source %s reported %q", src.Source, src.Status)
+		}
+	}
+	if !found {
+		t.Fatalf("healthz sources missing he: %+v", rep.Sources)
+	}
+
+	rc, resp := postSQL(t, h, `SELECT source, status FROM source_status WHERE status <> 'ok'`)
+	if rc.Code != http.StatusOK {
+		t.Fatalf("/sql source_status: %d %s", rc.Code, rc.Body.String())
+	}
+	if resp.RowCount != 1 || resp.Rows[0][0] != "he" {
+		t.Fatalf("source_status rows = %v, want one he row", resp.Rows)
+	}
+
+	mrec := getJSON(t, h, "/metrics", nil)
+	if !strings.Contains(mrec.Body.String(), "igdb_quarantined_sources 1") {
+		t.Errorf("metrics missing quarantined gauge:\n%s", mrec.Body.String())
+	}
+}
+
+// TestDegradedServerWithoutPipeline: losing a measurement-side source
+// (ripeatlas) in degraded mode costs /path (503, not a crash) while /sql
+// keeps working and /healthz explains what is missing.
+func TestDegradedServerWithoutPipeline(t *testing.T) {
+	cs := chaos.New(sharedStore(t), 13)
+	cs.Inject("ripeatlas", chaos.Drop())
+	s := newTestServer(t, Config{Store: cs, Degraded: true})
+	h := s.Handler()
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/path?src=a&dst=b", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("/path without pipeline: %d, want 503 (%s)", rec.Code, rec.Body.String())
+	}
+
+	rc, resp := postSQL(t, h, `SELECT COUNT(*) FROM city_points`)
+	if rc.Code != http.StatusOK || resp.RowCount == 0 {
+		t.Fatalf("/sql on pipeline-less snapshot: %d %s", rc.Code, rc.Body.String())
+	}
+
+	var rep healthReport
+	getJSON(t, h, "/healthz", &rep)
+	if rep.Status != "degraded" {
+		t.Fatalf("healthz status = %q, want degraded", rep.Status)
+	}
+	if rep.PathsPipeline == "ok" || rep.PathsPipeline == "" {
+		t.Fatalf("healthz paths_pipeline = %q, want the failure reason", rep.PathsPipeline)
+	}
+}

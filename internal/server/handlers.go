@@ -291,6 +291,11 @@ func (s *Server) handlePath(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	snap := s.current()
+	if snap.pipe == nil {
+		writeError(w, http.StatusServiceUnavailable,
+			"path inference unavailable on this degraded snapshot: %s", snap.pipeErr)
+		return
+	}
 	a := snap.g.MetroIndex(src)
 	b := snap.g.MetroIndex(dst)
 	if a < 0 {
@@ -355,20 +360,106 @@ func (s *Server) handleRebuild(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleHealthz serves GET /healthz.
+// sourceHealth is one source's entry in the /healthz report.
+type sourceHealth struct {
+	Source     string `json:"source"`
+	Status     string `json:"status"`
+	AsOf       string `json:"as_of,omitempty"`
+	Error      string `json:"error,omitempty"`
+	RowsLoaded int    `json:"rows_loaded"`
+}
+
+// healthReport is the GET /healthz body.
+type healthReport struct {
+	Status          string         `json:"status"` // ok | degraded | stale
+	Degraded        bool           `json:"degraded"`
+	Stale           bool           `json:"stale"`
+	SnapshotSeq     uint64         `json:"snapshot_seq"`
+	SnapshotAgeS    float64        `json:"snapshot_age_s"`
+	BuildMs         float64        `json:"build_ms"`
+	Tables          int            `json:"tables"`
+	Sources         []sourceHealth `json:"sources,omitempty"`
+	Quarantined     []string       `json:"quarantined,omitempty"`
+	PathsPipeline   string         `json:"paths_pipeline"` // "ok" or the failure
+	LastRebuildErr  string         `json:"last_rebuild_error,omitempty"`
+	LastRebuildUnix int64          `json:"last_rebuild_unix,omitempty"`
+}
+
+// staleCutoff is the snapshot age past which /healthz reports "stale":
+// StaleAfter when configured, else twice the periodic-rebuild interval.
+func (s *Server) staleCutoff() time.Duration {
+	if s.cfg.StaleAfter > 0 {
+		return s.cfg.StaleAfter
+	}
+	if s.cfg.RebuildEvery > 0 {
+		return 2 * s.cfg.RebuildEvery
+	}
+	return 0
+}
+
+// handleHealthz serves GET /healthz: a structured operator report — overall
+// status (ok/degraded/stale), per-source build verdicts, snapshot age, and
+// the most recent rebuild failure. Always 200 with a body; load balancers
+// should key on .status, not the HTTP code.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	snap := s.current()
-	writeJSON(w, http.StatusOK, map[string]interface{}{
-		"status":         "ok",
-		"snapshot_seq":   snap.seq,
-		"snapshot_age_s": time.Since(snap.builtAt).Seconds(),
-		"tables":         len(snap.g.Rel.TableNames()),
-	})
+	s.stateMu.Lock()
+	lastErr, lastAt := s.lastRebuildErr, s.lastRebuildAt
+	s.stateMu.Unlock()
+
+	age := time.Since(snap.builtAt)
+	rep := healthReport{
+		Status:        "ok",
+		SnapshotSeq:   snap.seq,
+		SnapshotAgeS:  age.Seconds(),
+		BuildMs:       float64(snap.buildTime) / float64(time.Millisecond),
+		Tables:        len(snap.g.Rel.TableNames()),
+		Quarantined:   snap.g.QuarantinedSources(),
+		PathsPipeline: "ok",
+	}
+	for _, st := range snap.g.SourceStatus {
+		sh := sourceHealth{
+			Source: st.Source, Status: st.Status,
+			Error: st.Err, RowsLoaded: st.RowsLoaded,
+		}
+		if !st.AsOf.IsZero() {
+			sh.AsOf = st.AsOf.UTC().Format(time.RFC3339)
+		}
+		rep.Sources = append(rep.Sources, sh)
+	}
+	if snap.pipe == nil {
+		rep.PathsPipeline = snap.pipeErr
+	}
+	if lastErr != nil {
+		rep.LastRebuildErr = lastErr.Error()
+	}
+	if !lastAt.IsZero() {
+		rep.LastRebuildUnix = lastAt.Unix()
+	}
+	if cut := s.staleCutoff(); cut > 0 && age > cut {
+		rep.Stale = true
+		rep.Status = "stale"
+	}
+	if snap.g.Degraded() || snap.pipe == nil || lastErr != nil {
+		rep.Degraded = true
+		rep.Status = "degraded"
+	}
+	writeJSON(w, http.StatusOK, rep)
 }
 
 // handleMetrics serves GET /metrics in Prometheus text format.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	snap := s.current()
+	degraded := 0
+	if snap.g.Degraded() || snap.pipe == nil || s.LastRebuildError() != nil {
+		degraded = 1
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.metrics.WriteTo(w, snap.seq, time.Since(snap.builtAt), snap.buildTime)
+	s.metrics.WriteTo(w, snapGauges{
+		seq:         snap.seq,
+		age:         time.Since(snap.builtAt),
+		buildTime:   snap.buildTime,
+		degraded:    degraded,
+		quarantined: len(snap.g.QuarantinedSources()),
+	})
 }

@@ -85,9 +85,20 @@ func (m *Metrics) resultHitRate() float64 {
 	return float64(h) / float64(h+mi)
 }
 
+// snapGauges are the point-in-time gauges derived from the serving
+// snapshot, sampled by the server at scrape time.
+type snapGauges struct {
+	seq         uint64
+	age         time.Duration
+	buildTime   time.Duration
+	degraded    int // 1 when serving degraded (bad source, no pipeline, or failed rebuild)
+	quarantined int // sources quarantined in the serving snapshot
+}
+
 // WriteTo renders the Prometheus text exposition format. Snapshot gauges
-// (age, seq, build time) are passed in by the server at scrape time.
-func (m *Metrics) WriteTo(w io.Writer, snapSeq uint64, snapAge time.Duration, buildTime time.Duration) {
+// (age, seq, build time, degradation) are passed in by the server at
+// scrape time.
+func (m *Metrics) WriteTo(w io.Writer, g snapGauges) {
 	m.mu.Lock()
 	names := make([]string, 0, len(m.routes))
 	for name := range m.routes {
@@ -130,7 +141,11 @@ func (m *Metrics) WriteTo(w io.Writer, snapSeq uint64, snapAge time.Duration, bu
 	fmt.Fprintf(w, "igdb_requests_rejected_total %d\n", m.rejected.Load())
 	fmt.Fprintf(w, "igdb_requests_inflight %d\n", m.inflight.Load())
 
-	fmt.Fprintf(w, "igdb_snapshot_seq %d\n", snapSeq)
-	fmt.Fprintf(w, "igdb_snapshot_age_seconds %g\n", snapAge.Seconds())
-	fmt.Fprintf(w, "igdb_snapshot_build_seconds %g\n", buildTime.Seconds())
+	fmt.Fprintf(w, "igdb_snapshot_seq %d\n", g.seq)
+	fmt.Fprintf(w, "igdb_snapshot_age_seconds %g\n", g.age.Seconds())
+	fmt.Fprintf(w, "igdb_snapshot_build_seconds %g\n", g.buildTime.Seconds())
+	fmt.Fprintf(w, "# HELP igdb_degraded 1 when the serving snapshot is degraded (quarantined source, missing paths pipeline, or failed rebuild).\n# TYPE igdb_degraded gauge\n")
+	fmt.Fprintf(w, "igdb_degraded %d\n", g.degraded)
+	fmt.Fprintf(w, "# HELP igdb_quarantined_sources Sources quarantined in the serving snapshot.\n# TYPE igdb_quarantined_sources gauge\n")
+	fmt.Fprintf(w, "igdb_quarantined_sources %d\n", g.quarantined)
 }

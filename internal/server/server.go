@@ -43,10 +43,18 @@ type Config struct {
 	// when Store is set.
 	Dir string
 	// Store is an optional pre-loaded snapshot store; tests and benchmarks
-	// inject in-memory stores here.
-	Store *ingest.Store
+	// inject in-memory or fault-injecting (chaos) stores here.
+	Store ingest.Reloader
 	// AsOf pins builds to snapshots at-or-before this instant; zero = newest.
 	AsOf time.Time
+	// Degraded builds with core's per-source fault isolation: corrupt,
+	// missing, or stale sources are quarantined in source_status instead of
+	// failing the build, and a missing measurement pipeline (paths) is
+	// tolerated. /healthz reports the per-source verdicts.
+	Degraded bool
+	// StaleAfter forwards to core.BuildOptions.StaleAfter: sources whose
+	// snapshot lags the newest one by more than this are stale.
+	StaleAfter time.Duration
 	// Addr is the listen address for Run (default ":8080").
 	Addr string
 	// MaxConcurrency bounds simultaneously executing requests (default 64).
@@ -94,6 +102,7 @@ func (c *Config) fillDefaults() {
 type snapshot struct {
 	g         *core.IGDB
 	pipe      *paths.Pipeline
+	pipeErr   string // why pipe is nil (degraded builds only)
 	seq       uint64
 	builtAt   time.Time
 	buildTime time.Duration
@@ -104,7 +113,7 @@ type snapshot struct {
 // Server serves a built iGDB over HTTP.
 type Server struct {
 	cfg     Config
-	store   *ingest.Store
+	store   ingest.Reloader
 	snap    atomic.Pointer[snapshot]
 	seq     atomic.Uint64
 	metrics *Metrics
@@ -113,6 +122,11 @@ type Server struct {
 
 	// rebuildMu serializes rebuilds (and the store reload inside them).
 	rebuildMu sync.Mutex
+
+	// stateMu guards the last-rebuild outcome reported by /healthz.
+	stateMu        sync.Mutex
+	lastRebuildErr error
+	lastRebuildAt  time.Time
 }
 
 // New loads the store, builds the first snapshot, and wires the routes.
@@ -151,13 +165,25 @@ func (s *Server) current() *snapshot { return s.snap.Load() }
 // than New must hold rebuildMu.
 func (s *Server) buildSnapshot() (*snapshot, error) {
 	t0 := time.Now()
-	g, err := core.Build(s.store, core.BuildOptions{AsOf: s.cfg.AsOf})
+	g, err := core.Build(s.store, core.BuildOptions{
+		AsOf:       s.cfg.AsOf,
+		Degraded:   s.cfg.Degraded,
+		StaleAfter: s.cfg.StaleAfter,
+	})
 	if err != nil {
 		return nil, fmt.Errorf("server: build: %w", err)
 	}
+	var pipeErr string
 	pipe, err := paths.NewPipeline(g, s.store)
 	if err != nil {
-		return nil, fmt.Errorf("server: paths pipeline: %w", err)
+		// The measurement pipeline reads its own snapshots (routeviews,
+		// rdns, ripeatlas); in degraded mode a broken one costs /path, not
+		// the whole server.
+		if !s.cfg.Degraded {
+			return nil, fmt.Errorf("server: paths pipeline: %w", err)
+		}
+		pipe, pipeErr = nil, err.Error()
+		s.cfg.Logf("igdb-serve: degraded: paths pipeline unavailable: %v", err)
 	}
 	resultSize := s.cfg.CacheSize
 	if resultSize < 0 {
@@ -166,6 +192,7 @@ func (s *Server) buildSnapshot() (*snapshot, error) {
 	snap := &snapshot{
 		g:         g,
 		pipe:      pipe,
+		pipeErr:   pipeErr,
 		seq:       s.seq.Add(1),
 		builtAt:   time.Now(),
 		buildTime: time.Since(t0),
@@ -187,18 +214,41 @@ func (s *Server) Rebuild() (uint64, time.Duration, error) {
 	// Pick up store snapshots that appeared on disk since the last load
 	// (in-memory stores no-op here).
 	if err := s.store.Load(); err != nil {
-		s.metrics.rebuildErrors.Add(1)
-		return 0, 0, fmt.Errorf("server: reloading store: %w", err)
+		err = fmt.Errorf("server: reloading store: %w", err)
+		s.noteRebuild(err)
+		return 0, 0, err
 	}
 	snap, err := s.buildSnapshot()
 	if err != nil {
-		s.metrics.rebuildErrors.Add(1)
+		// The previous snapshot keeps serving; /healthz turns degraded.
+		s.noteRebuild(err)
 		return 0, 0, err
 	}
 	s.snap.Store(snap)
+	s.noteRebuild(nil)
 	s.metrics.rebuilds.Add(1)
 	s.cfg.Logf("igdb-serve: snapshot %d ready (built in %v)", snap.seq, snap.buildTime.Round(time.Millisecond))
 	return snap.seq, snap.buildTime, nil
+}
+
+// noteRebuild records the most recent rebuild outcome for /healthz and
+// bumps the failure counter on error.
+func (s *Server) noteRebuild(err error) {
+	if err != nil {
+		s.metrics.rebuildErrors.Add(1)
+	}
+	s.stateMu.Lock()
+	s.lastRebuildErr = err
+	s.lastRebuildAt = time.Now()
+	s.stateMu.Unlock()
+}
+
+// LastRebuildError returns the error of the most recent rebuild attempt
+// (nil when it succeeded or none has run).
+func (s *Server) LastRebuildError() error {
+	s.stateMu.Lock()
+	defer s.stateMu.Unlock()
+	return s.lastRebuildErr
 }
 
 // TryRebuild runs Rebuild unless one is already in flight.

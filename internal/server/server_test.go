@@ -49,7 +49,9 @@ func sharedStore(t testing.TB) *ingest.Store {
 
 func newTestServer(t testing.TB, cfg Config) *Server {
 	t.Helper()
-	cfg.Store = sharedStore(t)
+	if cfg.Store == nil {
+		cfg.Store = sharedStore(t)
+	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...interface{}) {} // keep test output quiet
 	}

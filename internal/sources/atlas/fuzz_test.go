@@ -1,0 +1,22 @@
+package atlas
+
+import "testing"
+
+// FuzzParse asserts the Internet Atlas CSV parser returns errors, never
+// panics, for arbitrary node and link files.
+func FuzzParse(f *testing.F) {
+	nodesHdr := "network,node,city,state,country,lat,lon\n"
+	linksHdr := "from,to,network\n"
+	f.Add(
+		[]byte(nodesHdr+"ExampleNet,Austin PoP,Austin,TX,US,30.27,-97.74\n"),
+		[]byte(linksHdr+"Austin PoP,Dallas PoP,ExampleNet\n"),
+	)
+	f.Add([]byte(nodesHdr), []byte(linksHdr))
+	f.Add([]byte("a,b\n1"), []byte("x\n"))
+	f.Add([]byte(nodesHdr+"n,n,c,s,cc,bad,coords\n"), []byte(linksHdr))
+	f.Add([]byte(`"unclosed`), []byte(``))
+	f.Add([]byte(``), []byte(``))
+	f.Fuzz(func(t *testing.T, nodes, links []byte) {
+		_, _, _ = Parse(&Dataset{NodesCSV: nodes, LinksCSV: links})
+	})
+}

@@ -1,0 +1,21 @@
+package peeringdb
+
+import "testing"
+
+// FuzzParse asserts the PeeringDB dump parser returns errors, never
+// panics, for arbitrary bytes.
+func FuzzParse(f *testing.F) {
+	f.Add([]byte(`{"nets":[{"asn":64500,"name":"ExampleNet","org_name":"Example Org","info_type":"NSP"}],` +
+		`"facs":[{"id":1,"name":"Example DC","city":"Austin","state":"TX","country":"US","latitude":30.27,"longitude":-97.74}],` +
+		`"netfacs":[{"asn":64500,"fac_id":1}],` +
+		`"ixs":[{"id":1,"name":"EX-IX","city":"Austin","country":"US","prefix_v4":"203.0.113.0/24","latitude":30.27,"longitude":-97.74}],` +
+		`"netixs":[{"asn":64500,"ix_id":1,"ipaddr4":"203.0.113.7"}]}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"nets":null}`))
+	f.Add([]byte(`{"nets":[{"asn":"not-a-number"}]}`))
+	f.Add([]byte(`[`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = Parse(data)
+	})
+}

@@ -1,0 +1,20 @@
+package telegeography
+
+import "testing"
+
+// FuzzParse asserts the cable-map parser (JSON envelope plus nested WKT
+// geometries) returns errors, never panics, for arbitrary bytes.
+func FuzzParse(f *testing.F) {
+	f.Add([]byte(`{"cables":[{"id":1,"name":"Example Cable","owners":["Example Co"],"length_km":1234.5,` +
+		`"wkt":"LINESTRING (-97.74 30.27, -3.7 40.4)",` +
+		`"landing_points":[{"name":"Austin Landing Station","city":"Austin","country":"US","latitude":30.27,"longitude":-97.74}]}]}`))
+	f.Add([]byte(`{"cables":[]}`))
+	f.Add([]byte(`{"cables":[{"wkt":"POINT (1 2)"}]}`))
+	f.Add([]byte(`{"cables":[{"wkt":"LINESTRING (0 0"}]}`))
+	f.Add([]byte(`{"cables":[{"wkt":""}]}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = Parse(data)
+	})
+}

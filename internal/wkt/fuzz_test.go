@@ -1,0 +1,31 @@
+package wkt
+
+import "testing"
+
+// FuzzParse asserts the WKT parser never panics and that anything it
+// accepts survives a Marshal→Parse round trip.
+func FuzzParse(f *testing.F) {
+	f.Add("POINT (1 2)")
+	f.Add("POINT(-97.74 30.27)")
+	f.Add("LINESTRING (0 0, 1 1, 2 0)")
+	f.Add("LINESTRING(-1.5 -2.5,3 4)")
+	f.Add("POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))")
+	f.Add("POLYGON ((0 0, 10 0, 10 10, 0 0), (1 1, 2 1, 2 2, 1 1))")
+	f.Add("MULTILINESTRING ((0 0, 1 1), (2 2, 3 3))")
+	f.Add("MULTIPOLYGON (((0 0, 1 0, 1 1, 0 0)))")
+	f.Add("GEOMETRYCOLLECTION (POINT (1 2), LINESTRING (0 0, 1 1))")
+	f.Add("POINT EMPTY")
+	f.Add("LINESTRING (0 0")
+	f.Add("point (1 2)")
+	f.Add("POINT (1e309 2)")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, s string) {
+		g, err := Parse(s)
+		if err != nil {
+			return
+		}
+		if _, err := Parse(Marshal(g)); err != nil {
+			t.Fatalf("round trip failed for %q: %v", s, err)
+		}
+	})
+}

@@ -16,4 +16,11 @@ go vet ./...
 go build ./...
 go test -race ./...
 
+# Replay the fuzz seed corpora (wkt, reldb SQL, source parsers) and run
+# the fault-injection suites (chaos matrix, degraded builds/rebuilds,
+# collect retry) under the race detector.
+go test -run 'Fuzz.*' ./...
+go test -race -run 'TestChaos|TestDegraded|TestStale|TestFailedRebuild|TestCollect|TestStoreConcurrent|TestFaults|TestDrop|TestFlaky' \
+    ./internal/chaos/ ./internal/core/ ./internal/ingest/ ./internal/server/ ./cmd/igdb/
+
 echo "check.sh: all green"
