@@ -30,11 +30,17 @@ import (
 
 	"igdb/internal/core"
 	"igdb/internal/ingest"
+	"igdb/internal/obs"
 	"igdb/internal/paths"
 	"igdb/internal/render"
 	"igdb/internal/wkt"
 	"igdb/internal/worldgen"
 )
+
+// logger is the CLI's structured diagnostic sink (stderr). IGDB_LOG_FORMAT
+// (text|json) and IGDB_LOG_LEVEL (debug|info|warn|error) configure it.
+// Command output proper (tables, query rows, exports) stays on stdout.
+var logger = obs.FromEnv(os.Stderr)
 
 func main() {
 	if len(os.Args) < 2 {
@@ -62,12 +68,12 @@ func main() {
 	case "help", "-h", "--help":
 		usage()
 	default:
-		fmt.Fprintf(os.Stderr, "igdb: unknown command %q\n", os.Args[1])
+		logger.Error("unknown command", obs.F("command", os.Args[1]))
 		usage()
 		os.Exit(2)
 	}
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "igdb: %v\n", err)
+		logger.Error("command failed", obs.F("command", os.Args[1]), obs.F("err", err))
 		os.Exit(1)
 	}
 }
@@ -123,7 +129,7 @@ func (f *buildFlags) build() (*core.IGDB, error) {
 	if err != nil {
 		return nil, err
 	}
-	opts := core.BuildOptions{Degraded: f.degraded, StaleAfter: f.staleAfter}
+	opts := core.BuildOptions{Degraded: f.degraded, StaleAfter: f.staleAfter, Logger: logger}
 	if f.asOf != "" {
 		t, err := time.Parse("2006-01-02", f.asOf)
 		if err != nil {
@@ -136,7 +142,8 @@ func (f *buildFlags) build() (*core.IGDB, error) {
 		return nil, err
 	}
 	if q := g.QuarantinedSources(); len(q) > 0 {
-		fmt.Fprintf(os.Stderr, "degraded build: quarantined %s (see the source_status relation)\n", strings.Join(q, ", "))
+		logger.Warn("degraded build: sources quarantined (see the source_status relation)",
+			obs.F("quarantined", strings.Join(q, ", ")))
 	}
 	return g, nil
 }
@@ -159,19 +166,20 @@ func cmdCollect(args []string) error {
 	if *seed != 0 {
 		cfg.Seed = *seed
 	}
-	fmt.Fprintf(os.Stderr, "generating %s-scale world (seed %d)...\n", *scale, cfg.Seed)
+	logger.Info("generating world", obs.F("scale", *scale), obs.F("seed", cfg.Seed))
 	w := worldgen.Generate(cfg)
 	store := ingest.NewStore(*dir)
 	asOf := time.Now().UTC().Truncate(time.Second)
 	report, err := ingest.CollectWith(w, store, asOf, ingest.CollectOptions{
 		MaxAttempts:     *retries,
 		ContinueOnError: *contOnErr,
-		Logf:            func(format string, a ...interface{}) { fmt.Fprintf(os.Stderr, format+"\n", a...) },
+		Logger:          logger,
 	})
 	if report != nil {
 		for _, res := range report.Results {
 			if res.Err != nil {
-				fmt.Fprintf(os.Stderr, "collect: %s failed after %d attempt(s): %v\n", res.Source, res.Attempts, res.Err)
+				logger.Error("source collection failed", obs.F("source", res.Source),
+					obs.F("attempts", res.Attempts), obs.F("err", res.Err))
 			}
 		}
 	}
@@ -189,11 +197,27 @@ func cmdCollect(args []string) error {
 func cmdBuild(args []string) error {
 	fs := flag.NewFlagSet("build", flag.ExitOnError)
 	bf := addBuildFlags(fs)
+	trace := fs.String("trace", "", "write the build's span tree as JSON to this file and print a timing summary")
 	_ = fs.Parse(args)
 	t0 := time.Now()
 	g, err := bf.build()
 	if err != nil {
 		return err
+	}
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			return fmt.Errorf("creating trace file: %v", err)
+		}
+		if err := g.BuildTrace.WriteJSON(f); err != nil {
+			f.Close()
+			return fmt.Errorf("writing trace: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		g.BuildTrace.Summary(os.Stderr)
+		logger.Info("trace written", obs.F("file", *trace))
 	}
 	fmt.Printf("built iGDB in %v\n", time.Since(t0).Round(time.Millisecond))
 	return printTables(g)

@@ -28,9 +28,16 @@ func cmdServe(args []string) error {
 	maxRows := fs.Int("max-rows", 10000, "maximum rows returned by one /sql call")
 	degraded := fs.Bool("degraded", false, "quarantine bad sources instead of failing builds; /healthz reports per-source status")
 	staleAfter := fs.Duration("stale-after", 0, "sources lagging the newest snapshot by more than this are stale (0 = never)")
+	enablePprof := fs.Bool("pprof", false, "mount net/http/pprof under GET /debug/pprof/")
+	slowQuery := fs.Duration("slow-query", 0, "record /sql statements slower than this in GET /debug/queries (0 = 250ms default, negative = all)")
+	queryLog := fs.Int("query-log", 128, "slow-query log ring-buffer capacity")
+	logJSON := fs.Bool("log-json", false, "emit logs as JSON lines instead of key=value text")
 	_ = fs.Parse(args)
 	if *dir == "" {
 		return fmt.Errorf("-dir is required")
+	}
+	if *logJSON {
+		logger.SetJSON(true)
 	}
 	cfg := server.Config{
 		Dir:            *dir,
@@ -42,6 +49,10 @@ func cmdServe(args []string) error {
 		MaxResultRows:  *maxRows,
 		Degraded:       *degraded,
 		StaleAfter:     *staleAfter,
+		Logger:         logger,
+		EnablePprof:    *enablePprof,
+		SlowQueryMin:   *slowQuery,
+		QueryLogSize:   *queryLog,
 	}
 	if *asOf != "" {
 		t, err := time.Parse("2006-01-02", *asOf)

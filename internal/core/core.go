@@ -18,6 +18,7 @@ import (
 
 	"igdb/internal/geo"
 	"igdb/internal/ingest"
+	"igdb/internal/obs"
 	"igdb/internal/reldb"
 	"igdb/internal/spatial"
 	"igdb/internal/voronoi"
@@ -60,9 +61,17 @@ type IGDB struct {
 	// SourceStatus records per-source provenance: what loaded, what was
 	// quarantined and why. Mirrors the source_status relation.
 	SourceStatus []SourceStatus
+	// BuildTrace is the span tree Build recorded: per-source loads, the
+	// Voronoi/Thiessen standardization join, relation construction, and
+	// path inference. Nil only with BuildOptions.SkipTrace. Mirrors the
+	// build_trace relation.
+	BuildTrace *obs.Span
 
 	tree    *spatial.KDTree
 	cityIdx map[string]int
+	// span is the currently executing loader's span; loaders use it for
+	// sub-stage spans (gazetteer, voronoi, right_of_way).
+	span *obs.Span
 	// pendingAdjacencies holds the standardized Atlas PoP adjacencies
 	// between loadAtlas and inferStandardPaths.
 	pendingAdjacencies [][2]int
@@ -90,6 +99,17 @@ type BuildOptions struct {
 	// otherwise the newest snapshot in the store — by more than this.
 	// Zero disables staleness checks.
 	StaleAfter time.Duration
+	// Trace, when set, is the parent span under which Build records its
+	// stage spans (Build starts and ends a "build" child). When nil Build
+	// starts its own root trace, so the build_trace relation is always
+	// populated unless SkipTrace is set.
+	Trace *obs.Span
+	// SkipTrace disables span recording entirely: no BuildTrace, an empty
+	// build_trace relation. The untraced baseline for overhead benchmarks.
+	SkipTrace bool
+	// Logger receives structured build diagnostics (quarantine events).
+	// Nil is silent.
+	Logger *obs.Logger
 }
 
 // Source status values recorded in the source_status relation.
@@ -105,10 +125,11 @@ const (
 // the source_status relation.
 type SourceStatus struct {
 	Source     string
-	AsOf       time.Time // snapshot acquisition time (zero when missing)
-	Status     string    // one of the Status* constants
-	Err        string    // failure detail ("" when ok)
-	RowsLoaded int       // rows this source contributed across all relations
+	AsOf       time.Time     // snapshot acquisition time (zero when missing)
+	Status     string        // one of the Status* constants
+	Err        string        // failure detail ("" when ok)
+	RowsLoaded int           // rows this source contributed across all relations
+	LoadTime   time.Duration // wall time the loader spent on this source
 }
 
 // Degraded reports whether any source failed to load cleanly.
@@ -214,48 +235,94 @@ var loaders = []loaderSpec{
 // g.SourceStatus and the source_status relation so operators can query
 // exactly which sources the database was built without.
 func Build(store ingest.Reader, opts BuildOptions) (*IGDB, error) {
+	var root *obs.Span
+	if !opts.SkipTrace {
+		if opts.Trace != nil {
+			root = opts.Trace.Start("build")
+		} else {
+			root = obs.StartTrace("build")
+		}
+	}
 	g := &IGDB{
-		Rel:     reldb.New(),
-		AsOf:    opts.AsOf,
-		cityIdx: make(map[string]int),
+		Rel:        reldb.New(),
+		AsOf:       opts.AsOf,
+		BuildTrace: root,
+		cityIdx:    make(map[string]int),
 		// An empty tree keeps Standardize total even when the gazetteer
 		// itself is quarantined in degraded mode.
 		tree: spatial.NewKDTree(nil),
 	}
+	sp := root.Start("schema")
 	if err := g.createSchema(); err != nil {
 		return nil, err
 	}
 	g.registerSQLFunctions()
+	sp.End()
 
 	staleRef := staleReference(store, opts)
 	for _, l := range loaders {
-		st, err := g.runLoader(store, opts, l, staleRef)
+		st, err := g.runLoader(store, opts, l, staleRef, root)
 		if err != nil && !opts.Degraded {
 			return nil, fmt.Errorf("core: %s: %w", l.source, err)
 		}
+		if err != nil {
+			opts.Logger.Warn("source quarantined",
+				obs.F("source", st.Source), obs.F("status", st.Status), obs.F("err", st.Err))
+		}
 		g.SourceStatus = append(g.SourceStatus, st)
 	}
+	sp = root.Start("source_status")
 	if err := g.storeSourceStatus(); err != nil {
 		return nil, err
 	}
+	sp.End()
+	sp = root.Start("infer_standard_paths")
 	if err := g.inferStandardPaths(opts); err != nil {
 		return nil, err
 	}
+	sp.SetAttr("paths", g.Rel.Table("std_paths").Len())
+	sp.End()
+	sp = root.Start("path_network")
 	g.Paths = g.buildPathNetwork()
+	sp.SetAttr("edges", len(g.Paths.geoms))
+	sp.End()
+	root.End()
+	if err := g.storeBuildTrace(); err != nil {
+		return nil, err
+	}
 	return g, nil
 }
 
 // runLoader executes one source's loader under fault isolation: the
 // snapshot is classified first (missing / transient / stale), the loader
-// runs with panic capture, and the outcome is summarized as a SourceStatus.
-func (g *IGDB) runLoader(store ingest.Reader, opts BuildOptions, l loaderSpec, staleRef time.Time) (SourceStatus, error) {
-	st := SourceStatus{Source: l.source, Status: StatusOK}
+// runs with panic capture under its own span, and the outcome is summarized
+// as a SourceStatus.
+func (g *IGDB) runLoader(store ingest.Reader, opts BuildOptions, l loaderSpec, staleRef time.Time, parent *obs.Span) (st SourceStatus, err error) {
+	// Named returns: the deferred summary below must mutate the st the
+	// caller receives, not a copy.
+	st = SourceStatus{Source: l.source, Status: StatusOK}
+	t0 := time.Now()
+	sp := parent.Start("load/" + l.source)
+	defer func() {
+		st.LoadTime = time.Since(t0)
+		sp.SetAttr("rows", st.RowsLoaded)
+		sp.SetAttr("status", st.Status)
+		if st.Err != "" {
+			sp.SetAttr("err", st.Err)
+		}
+		sp.End()
+	}()
 	snap, err := store.Latest(l.source, opts.AsOf)
 	if err != nil {
 		st.Status, st.Err = classifyError(err)
 		return st, err
 	}
 	st.AsOf = snap.AsOf
+	bytes := 0
+	for _, data := range snap.Files {
+		bytes += len(data)
+	}
+	sp.SetAttr("bytes", bytes)
 	if opts.StaleAfter > 0 && !staleRef.IsZero() && staleRef.Sub(snap.AsOf) > opts.StaleAfter {
 		st.Status = StatusStale
 		st.Err = fmt.Sprintf("snapshot from %s is older than %s (reference %s)",
@@ -263,8 +330,10 @@ func (g *IGDB) runLoader(store ingest.Reader, opts BuildOptions, l loaderSpec, s
 		return st, errors.New(st.Err)
 	}
 	before := g.totalRows()
+	g.span = sp
 	err = func() (err error) {
 		defer func() {
+			g.span = nil
 			if r := recover(); r != nil {
 				err = &panicError{fmt.Errorf("loader panicked: %v", r)}
 			}
@@ -335,10 +404,31 @@ func (g *IGDB) storeSourceStatus() error {
 		}
 		rows = append(rows, []reldb.Value{
 			reldb.Text(st.Source), reldb.Text(st.Status), reldb.Text(st.Err),
-			reldb.Int(int64(st.RowsLoaded)), reldb.Text(asOf),
+			reldb.Int(int64(st.RowsLoaded)),
+			reldb.Float(float64(st.LoadTime) / float64(time.Millisecond)),
+			reldb.Text(asOf),
 		})
 	}
 	return g.Rel.BulkInsert("source_status", rows)
+}
+
+// storeBuildTrace persists the span tree into the build_trace relation —
+// one row per stage, so the last build's timings are queryable with plain
+// SQL, exactly like source_status makes degradation queryable.
+func (g *IGDB) storeBuildTrace() error {
+	if g.BuildTrace == nil {
+		return nil
+	}
+	infos := g.BuildTrace.Flatten()
+	rows := make([][]reldb.Value, 0, len(infos))
+	for _, si := range infos {
+		rows = append(rows, []reldb.Value{
+			reldb.Text(si.Name), reldb.Text(si.Parent), reldb.Int(int64(si.Depth)),
+			reldb.Float(si.StartMs), reldb.Float(si.DurationMs),
+			reldb.Text(obs.FormatFields(si.Attrs)),
+		})
+	}
+	return g.Rel.BulkInsert("build_trace", rows)
 }
 
 // createSchema creates every Figure 2 relation. as_of_date is mandatory on
@@ -373,7 +463,9 @@ func (g *IGDB) createSchema() error {
 		`CREATE TABLE ip_asn_dns (ip TEXT, asn INTEGER, hostname TEXT, metro TEXT,
 			state_province TEXT, country TEXT, geo_source TEXT, as_of_date TEXT)`,
 		`CREATE TABLE source_status (source TEXT, status TEXT, error TEXT,
-			rows_loaded INTEGER, as_of_date TEXT)`,
+			rows_loaded INTEGER, load_ms REAL, as_of_date TEXT)`,
+		`CREATE TABLE build_trace (span TEXT, parent TEXT, depth INTEGER,
+			start_ms REAL, duration_ms REAL, attrs TEXT)`,
 		`CREATE INDEX ON asn_loc (asn)`,
 		`CREATE INDEX ON asn_name (asn)`,
 		`CREATE INDEX ON asn_org (asn)`,

@@ -36,6 +36,7 @@ func (g *IGDB) loadCities(store ingest.Reader, opts BuildOptions) error {
 	if err != nil {
 		return err
 	}
+	gaz := g.span.Start("gazetteer")
 	asOf := asOfText(snap.AsOf)
 	entries := make([]spatial.Entry, 0, len(places))
 	var rows [][]reldb.Value
@@ -58,14 +59,21 @@ func (g *IGDB) loadCities(store ingest.Reader, opts BuildOptions) error {
 	if err := g.Rel.BulkInsert("city_points", rows); err != nil {
 		return err
 	}
+	gaz.SetAttr("cities", len(g.Cities))
+	gaz.End()
 	if opts.SkipPolygons {
 		return nil
 	}
+	// The Thiessen tessellation is the §3.1 standardization join's spatial
+	// substrate — the single heaviest sub-stage of the gazetteer load.
+	vor := g.span.Start("voronoi")
+	defer vor.End()
 	sites := make([]geo.Point, len(g.Cities))
 	for i, c := range g.Cities {
 		sites[i] = c.Loc
 	}
 	g.Diagram = voronoi.Build(sites, voronoi.WorldBounds)
+	vor.SetAttr("cells", len(g.Diagram.Cells))
 	var prows [][]reldb.Value
 	for i, cell := range g.Diagram.Cells {
 		if cell == nil {

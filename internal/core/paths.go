@@ -90,6 +90,8 @@ func (g *IGDB) loadRightOfWay(store ingest.Reader, opts BuildOptions) error {
 	if err != nil {
 		return err
 	}
+	sp := g.span.Start("right_of_way")
+	defer sp.End()
 	rn := &RowNetwork{
 		G:     graph.New(len(g.Cities)),
 		geoms: make(map[[2]int][]geo.Point),
@@ -123,6 +125,7 @@ func (g *IGDB) loadRightOfWay(store ingest.Reader, opts BuildOptions) error {
 		}
 		rn.G.AddUndirected(a, b, w)
 	}
+	sp.SetAttr("edges", len(rn.geoms))
 	g.Row = rn
 	return nil
 }

@@ -18,8 +18,10 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"igdb/internal/obs"
 	"igdb/internal/sources/asrank"
 	"igdb/internal/sources/atlas"
 	"igdb/internal/sources/euroix"
@@ -269,8 +271,15 @@ type CollectOptions struct {
 	// an error to inject a fault (chaos.FlakySources builds these).
 	// Transient errors are retried; permanent ones are not.
 	Intercept func(source string, attempt int) error
-	// Logf receives retry/give-up notices (default: silent).
+	// Logger receives structured retry/give-up records. When nil it is
+	// derived from Logf; when both are nil collection is silent.
+	Logger *obs.Logger
+	// Logf is the legacy printf sink, bridged into Logger when Logger is
+	// unset.
 	Logf func(format string, args ...interface{})
+	// Trace, when set, records one span per source with attempt/byte
+	// attributes under it.
+	Trace *obs.Span
 }
 
 func (o *CollectOptions) fillDefaults() {
@@ -286,10 +295,17 @@ func (o *CollectOptions) fillDefaults() {
 	if o.Sleep == nil {
 		o.Sleep = time.Sleep
 	}
-	if o.Logf == nil {
-		o.Logf = func(string, ...interface{}) {}
+	if o.Logger == nil && o.Logf != nil {
+		o.Logger = obs.NewCallback(o.Logf)
 	}
 }
+
+// retriesTotal counts retry sleeps across every CollectWith call in this
+// process — the igdb_collect_retries_total metric.
+var retriesTotal atomic.Uint64
+
+// RetriesTotal reports the process-wide count of collection retries.
+func RetriesTotal() uint64 { return retriesTotal.Load() }
 
 // SourceResult is one source's collection outcome.
 type SourceResult struct {
@@ -400,6 +416,7 @@ func CollectWith(w *worldgen.World, store *Store, asOf time.Time, opts CollectOp
 	var firstErr error
 	for _, f := range fetchers {
 		res := SourceResult{Source: f.source}
+		sp := opts.Trace.Start("collect/" + f.source)
 		var files map[string][]byte
 		for attempt := 1; attempt <= opts.MaxAttempts; attempt++ {
 			res.Attempts = attempt
@@ -416,16 +433,21 @@ func CollectWith(w *worldgen.World, store *Store, asOf time.Time, opts CollectOp
 			}
 			res.Err = err
 			if !IsTransient(err) {
-				opts.Logf("ingest: %s: permanent error, not retrying: %v", f.source, err)
+				opts.Logger.Warn("permanent collection error, not retrying",
+					obs.F("source", f.source), obs.F("err", err))
 				break
 			}
 			if attempt == opts.MaxAttempts {
-				opts.Logf("ingest: %s: attempt budget (%d) exhausted: %v", f.source, opts.MaxAttempts, err)
+				opts.Logger.Error("collection attempt budget exhausted",
+					obs.F("source", f.source), obs.F("attempts", opts.MaxAttempts), obs.F("err", err))
 				break
 			}
 			delay := backoff(opts.BaseBackoff, opts.MaxBackoff, attempt, rng)
-			opts.Logf("ingest: %s: attempt %d/%d failed (%v), retrying in %v",
-				f.source, attempt, opts.MaxAttempts, err, delay)
+			retriesTotal.Add(1)
+			opts.Logger.Warn("collection attempt failed, retrying",
+				obs.F("source", f.source), obs.F("attempt", attempt),
+				obs.F("max_attempts", opts.MaxAttempts), obs.F("err", err),
+				obs.F("backoff", delay))
 			opts.Sleep(delay)
 		}
 		if res.Err == nil {
@@ -433,6 +455,16 @@ func CollectWith(w *worldgen.World, store *Store, asOf time.Time, opts CollectOp
 				res.Err = fmt.Errorf("save: %w", err)
 			}
 		}
+		bytes := 0
+		for _, data := range files {
+			bytes += len(data)
+		}
+		sp.SetAttr("attempts", res.Attempts)
+		sp.SetAttr("bytes", bytes)
+		if res.Err != nil {
+			sp.SetAttr("err", res.Err.Error())
+		}
+		sp.End()
 		report.Results = append(report.Results, res)
 		if res.Err != nil {
 			wrapped := fmt.Errorf("ingest: %s: %w", f.source, res.Err)

@@ -11,6 +11,8 @@ import (
 	"time"
 
 	"igdb/internal/geo"
+	"igdb/internal/ingest"
+	"igdb/internal/obs"
 	"igdb/internal/reldb"
 	"igdb/internal/render"
 	"igdb/internal/wkt"
@@ -43,7 +45,13 @@ func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 }
 
 func writeError(w http.ResponseWriter, status int, format string, args ...interface{}) {
-	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+	body := map[string]string{"error": fmt.Sprintf(format, args...)}
+	// Handlers receive the middleware's statusWriter, so the request ID is
+	// recoverable here without changing every handler signature.
+	if sw, ok := w.(*statusWriter); ok && sw.reqID != "" {
+		body["request_id"] = sw.reqID
+	}
+	writeJSON(w, status, body)
 }
 
 // readSQL extracts the statement from a raw-text or {"sql": "..."} body.
@@ -76,17 +84,42 @@ func readSQL(r *http.Request) (string, error) {
 // before touching the database.
 func (s *Server) handleSQL(w http.ResponseWriter, r *http.Request) {
 	t0 := time.Now()
+	var qSQL string
+	var qRows int
+	var qCached bool
+	var qErr string
+	defer func() {
+		if s.qlog == nil || qSQL == "" {
+			return
+		}
+		elapsed := time.Since(t0)
+		if elapsed < s.slowMin {
+			return
+		}
+		s.metrics.slowQueries.Add(1)
+		s.qlog.add(QueryLogEntry{
+			Time:       t0,
+			RequestID:  RequestID(r),
+			SQL:        qSQL,
+			Rows:       qRows,
+			DurationMs: float64(elapsed) / float64(time.Millisecond),
+			CacheHit:   qCached,
+			Err:        qErr,
+		})
+	}()
 	sql, err := readSQL(r)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	qSQL = sql
 	norm := normalizeSQL(sql)
 	snap := s.current()
 
 	if snap.results != nil {
 		if res, ok := snap.results.Get(norm); ok {
 			s.metrics.resultHits.Add(1)
+			qRows, qCached = res.RowCount, true
 			writeJSON(w, http.StatusOK, sqlResponse{
 				sqlResult:   *res,
 				Cached:      true,
@@ -104,10 +137,12 @@ func (s *Server) handleSQL(w http.ResponseWriter, r *http.Request) {
 		s.metrics.planMisses.Add(1)
 		stmt, err = snap.g.Rel.Prepare(norm)
 		if errors.Is(err, reldb.ErrNotSelect) {
+			qErr = err.Error()
 			writeError(w, http.StatusForbidden, "read-only API: %v", err)
 			return
 		}
 		if err != nil {
+			qErr = err.Error()
 			writeError(w, http.StatusBadRequest, "%v", err)
 			return
 		}
@@ -137,16 +172,19 @@ func (s *Server) handleSQL(w http.ResponseWriter, r *http.Request) {
 	select {
 	case out := <-done:
 		if out.err != nil {
+			qErr = out.err.Error()
 			writeError(w, http.StatusBadRequest, "%v", out.err)
 			return
 		}
 		rows = out.rows
 	case <-r.Context().Done():
 		s.metrics.rejected.Add(1)
+		qErr = "query exceeded the request deadline"
 		writeError(w, http.StatusGatewayTimeout, "query exceeded the request deadline")
 		return
 	}
 
+	qRows = rows.Len()
 	res := &sqlResult{Columns: rows.Columns, RowCount: rows.Len()}
 	n := rows.Len()
 	if n > s.cfg.MaxResultRows {
@@ -207,7 +245,8 @@ func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/geo+json")
 	if _, err := render.WriteLayerGeoJSON(w, snap.g.Rel, layer); err != nil {
 		// Headers are already out; all we can do is log.
-		s.cfg.Logf("igdb-serve: export %s: %v", layer, err)
+		s.logger.Error("export failed", obs.F("layer", layer),
+			obs.F("request_id", RequestID(r)), obs.F("err", err))
 	}
 }
 
@@ -336,7 +375,7 @@ func (s *Server) handlePath(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := fw.Add(wkt.NewLineString(line), props); err != nil {
-		s.cfg.Logf("igdb-serve: path export: %v", err)
+		s.logger.Error("path export failed", obs.F("request_id", RequestID(r)), obs.F("err", err))
 		return
 	}
 	_ = fw.Close()
@@ -456,10 +495,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.metrics.WriteTo(w, snapGauges{
-		seq:         snap.seq,
-		age:         time.Since(snap.builtAt),
-		buildTime:   snap.buildTime,
-		degraded:    degraded,
-		quarantined: len(snap.g.QuarantinedSources()),
+		seq:            snap.seq,
+		age:            time.Since(snap.builtAt),
+		buildTime:      snap.buildTime,
+		degraded:       degraded,
+		quarantined:    len(snap.g.QuarantinedSources()),
+		sources:        snap.g.SourceStatus,
+		stages:         snap.g.BuildTrace.Stages(),
+		collectRetries: ingest.RetriesTotal(),
 	})
 }

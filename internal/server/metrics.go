@@ -7,16 +7,24 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"igdb/internal/core"
+	"igdb/internal/obs"
 )
 
 // latencyBuckets are the histogram upper bounds in milliseconds. The +Inf
 // bucket is implicit (the total count).
 var latencyBuckets = []float64{0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500}
 
-// routeStats are per-endpoint counters.
+// routeStats are per-endpoint counters, including a per-route latency
+// histogram alongside the server-wide aggregate one.
 type routeStats struct {
 	requests atomic.Uint64
 	errors   atomic.Uint64 // responses with status >= 400
+
+	latCounts []atomic.Uint64 // one per latencyBuckets entry
+	latCount  atomic.Uint64
+	latSumUs  atomic.Uint64 // total microseconds
 }
 
 // Metrics aggregates the server's observability counters. All updates are
@@ -25,7 +33,7 @@ type Metrics struct {
 	mu     sync.Mutex
 	routes map[string]*routeStats
 
-	latCounts []atomic.Uint64 // one per latencyBuckets entry
+	latCounts []atomic.Uint64 // aggregate histogram, one per latencyBuckets entry
 	latCount  atomic.Uint64
 	latSumUs  atomic.Uint64 // total microseconds
 
@@ -38,6 +46,7 @@ type Metrics struct {
 	rebuildErrors atomic.Uint64
 	panics        atomic.Uint64
 	rejected      atomic.Uint64 // limiter/timeout rejections (503/504)
+	slowQueries   atomic.Uint64 // /sql statements over the slow-query threshold
 	inflight      atomic.Int64
 }
 
@@ -54,26 +63,31 @@ func (m *Metrics) route(name string) *routeStats {
 	defer m.mu.Unlock()
 	rs, ok := m.routes[name]
 	if !ok {
-		rs = &routeStats{}
+		rs = &routeStats{latCounts: make([]atomic.Uint64, len(latencyBuckets))}
 		m.routes[name] = rs
 	}
 	return rs
 }
 
-// observe records one served request.
+// observe records one served request in the route's histogram and the
+// aggregate one.
 func (m *Metrics) observe(rs *routeStats, status int, elapsed time.Duration) {
 	rs.requests.Add(1)
 	if status >= 400 {
 		rs.errors.Add(1)
 	}
 	ms := float64(elapsed) / float64(time.Millisecond)
+	us := uint64(elapsed / time.Microsecond)
 	for i, ub := range latencyBuckets {
 		if ms <= ub {
 			m.latCounts[i].Add(1)
+			rs.latCounts[i].Add(1)
 		}
 	}
 	m.latCount.Add(1)
-	m.latSumUs.Add(uint64(elapsed / time.Microsecond))
+	m.latSumUs.Add(us)
+	rs.latCount.Add(1)
+	rs.latSumUs.Add(us)
 }
 
 // resultHitRate returns hits/(hits+misses), or 0 before any lookup.
@@ -88,16 +102,43 @@ func (m *Metrics) resultHitRate() float64 {
 // snapGauges are the point-in-time gauges derived from the serving
 // snapshot, sampled by the server at scrape time.
 type snapGauges struct {
-	seq         uint64
-	age         time.Duration
-	buildTime   time.Duration
-	degraded    int // 1 when serving degraded (bad source, no pipeline, or failed rebuild)
-	quarantined int // sources quarantined in the serving snapshot
+	seq            uint64
+	age            time.Duration
+	buildTime      time.Duration
+	degraded       int // 1 when serving degraded (bad source, no pipeline, or failed rebuild)
+	quarantined    int // sources quarantined in the serving snapshot
+	sources        []core.SourceStatus
+	stages         []obs.StageTiming
+	collectRetries uint64
+}
+
+// help emits the HELP/TYPE header for one metric. Every exposed metric name
+// goes through here exactly once so the exposition stays lint-clean.
+func help(w io.Writer, name, typ, text string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, text, name, typ)
+}
+
+// writeHistogram emits one histogram series; labels ("" for the aggregate)
+// is the pre-rendered label prefix like `route="/sql",`.
+func writeHistogram(w io.Writer, labels string, counts []atomic.Uint64, count, sumUs *atomic.Uint64) {
+	for i, ub := range latencyBuckets {
+		fmt.Fprintf(w, "igdb_request_duration_ms_bucket{%sle=%q} %d\n",
+			labels, fmt.Sprintf("%g", ub), counts[i].Load())
+	}
+	fmt.Fprintf(w, "igdb_request_duration_ms_bucket{%sle=\"+Inf\"} %d\n", labels, count.Load())
+	if labels == "" {
+		fmt.Fprintf(w, "igdb_request_duration_ms_sum %g\n", float64(sumUs.Load())/1000)
+		fmt.Fprintf(w, "igdb_request_duration_ms_count %d\n", count.Load())
+		return
+	}
+	trimmed := labels[:len(labels)-1] // drop the trailing comma
+	fmt.Fprintf(w, "igdb_request_duration_ms_sum{%s} %g\n", trimmed, float64(sumUs.Load())/1000)
+	fmt.Fprintf(w, "igdb_request_duration_ms_count{%s} %d\n", trimmed, count.Load())
 }
 
 // WriteTo renders the Prometheus text exposition format. Snapshot gauges
-// (age, seq, build time, degradation) are passed in by the server at
-// scrape time.
+// (age, seq, build time, degradation, per-source and per-stage timings) are
+// passed in by the server at scrape time.
 func (m *Metrics) WriteTo(w io.Writer, g snapGauges) {
 	m.mu.Lock()
 	names := make([]string, 0, len(m.routes))
@@ -111,41 +152,70 @@ func (m *Metrics) WriteTo(w io.Writer, g snapGauges) {
 	}
 	m.mu.Unlock()
 
-	fmt.Fprintf(w, "# HELP igdb_requests_total Requests served, by route.\n# TYPE igdb_requests_total counter\n")
+	help(w, "igdb_requests_total", "counter", "Requests served, by route.")
 	for i, name := range names {
 		fmt.Fprintf(w, "igdb_requests_total{route=%q} %d\n", name, stats[i].requests.Load())
 	}
-	fmt.Fprintf(w, "# HELP igdb_request_errors_total Responses with status >= 400, by route.\n# TYPE igdb_request_errors_total counter\n")
+	help(w, "igdb_request_errors_total", "counter", "Responses with status >= 400, by route.")
 	for i, name := range names {
 		fmt.Fprintf(w, "igdb_request_errors_total{route=%q} %d\n", name, stats[i].errors.Load())
 	}
 
-	fmt.Fprintf(w, "# HELP igdb_request_duration_ms Request latency histogram (milliseconds).\n# TYPE igdb_request_duration_ms histogram\n")
-	for i, ub := range latencyBuckets {
-		fmt.Fprintf(w, "igdb_request_duration_ms_bucket{le=%q} %d\n",
-			fmt.Sprintf("%g", ub), m.latCounts[i].Load())
+	help(w, "igdb_request_duration_ms", "histogram",
+		"Request latency histogram in milliseconds; unlabeled series is the all-routes aggregate.")
+	writeHistogram(w, "", m.latCounts, &m.latCount, &m.latSumUs)
+	for i, name := range names {
+		labels := fmt.Sprintf("route=%q,", name)
+		writeHistogram(w, labels, stats[i].latCounts, &stats[i].latCount, &stats[i].latSumUs)
 	}
-	fmt.Fprintf(w, "igdb_request_duration_ms_bucket{le=\"+Inf\"} %d\n", m.latCount.Load())
-	fmt.Fprintf(w, "igdb_request_duration_ms_sum %g\n", float64(m.latSumUs.Load())/1000)
-	fmt.Fprintf(w, "igdb_request_duration_ms_count %d\n", m.latCount.Load())
 
+	help(w, "igdb_result_cache_hits_total", "counter", "Result-cache hits on POST /sql.")
 	fmt.Fprintf(w, "igdb_result_cache_hits_total %d\n", m.resultHits.Load())
+	help(w, "igdb_result_cache_misses_total", "counter", "Result-cache misses on POST /sql.")
 	fmt.Fprintf(w, "igdb_result_cache_misses_total %d\n", m.resultMisses.Load())
+	help(w, "igdb_result_cache_hit_rate", "gauge", "Result-cache hits / lookups since start.")
 	fmt.Fprintf(w, "igdb_result_cache_hit_rate %g\n", m.resultHitRate())
+	help(w, "igdb_plan_cache_hits_total", "counter", "Plan-cache hits on POST /sql.")
 	fmt.Fprintf(w, "igdb_plan_cache_hits_total %d\n", m.planHits.Load())
+	help(w, "igdb_plan_cache_misses_total", "counter", "Plan-cache misses on POST /sql.")
 	fmt.Fprintf(w, "igdb_plan_cache_misses_total %d\n", m.planMisses.Load())
 
+	help(w, "igdb_rebuilds_total", "counter", "Successful snapshot rebuilds.")
 	fmt.Fprintf(w, "igdb_rebuilds_total %d\n", m.rebuilds.Load())
+	help(w, "igdb_rebuild_errors_total", "counter", "Failed snapshot rebuild attempts.")
 	fmt.Fprintf(w, "igdb_rebuild_errors_total %d\n", m.rebuildErrors.Load())
+	help(w, "igdb_panics_recovered_total", "counter", "Handler panics recovered by middleware.")
 	fmt.Fprintf(w, "igdb_panics_recovered_total %d\n", m.panics.Load())
+	help(w, "igdb_requests_rejected_total", "counter", "Requests rejected by the limiter or deadline (503/504).")
 	fmt.Fprintf(w, "igdb_requests_rejected_total %d\n", m.rejected.Load())
+	help(w, "igdb_slow_queries_total", "counter", "POST /sql statements over the slow-query threshold.")
+	fmt.Fprintf(w, "igdb_slow_queries_total %d\n", m.slowQueries.Load())
+	help(w, "igdb_requests_inflight", "gauge", "Requests currently executing.")
 	fmt.Fprintf(w, "igdb_requests_inflight %d\n", m.inflight.Load())
 
+	help(w, "igdb_snapshot_seq", "gauge", "Sequence number of the serving snapshot.")
 	fmt.Fprintf(w, "igdb_snapshot_seq %d\n", g.seq)
+	help(w, "igdb_snapshot_age_seconds", "gauge", "Seconds since the serving snapshot was built.")
 	fmt.Fprintf(w, "igdb_snapshot_age_seconds %g\n", g.age.Seconds())
+	help(w, "igdb_snapshot_build_seconds", "gauge", "Wall time the serving snapshot took to build.")
 	fmt.Fprintf(w, "igdb_snapshot_build_seconds %g\n", g.buildTime.Seconds())
-	fmt.Fprintf(w, "# HELP igdb_degraded 1 when the serving snapshot is degraded (quarantined source, missing paths pipeline, or failed rebuild).\n# TYPE igdb_degraded gauge\n")
+	help(w, "igdb_degraded", "gauge", "1 when the serving snapshot is degraded (quarantined source, missing paths pipeline, or failed rebuild).")
 	fmt.Fprintf(w, "igdb_degraded %d\n", g.degraded)
-	fmt.Fprintf(w, "# HELP igdb_quarantined_sources Sources quarantined in the serving snapshot.\n# TYPE igdb_quarantined_sources gauge\n")
+	help(w, "igdb_quarantined_sources", "gauge", "Sources quarantined in the serving snapshot.")
 	fmt.Fprintf(w, "igdb_quarantined_sources %d\n", g.quarantined)
+
+	help(w, "igdb_source_load_seconds", "gauge", "Per-source load wall time in the serving snapshot's build.")
+	for _, st := range g.sources {
+		fmt.Fprintf(w, "igdb_source_load_seconds{source=%q} %g\n", st.Source, st.LoadTime.Seconds())
+	}
+	help(w, "igdb_source_rows", "gauge", "Rows loaded per source in the serving snapshot's build.")
+	for _, st := range g.sources {
+		fmt.Fprintf(w, "igdb_source_rows{source=%q} %d\n", st.Source, st.RowsLoaded)
+	}
+	help(w, "igdb_build_stage_seconds", "gauge", "Wall time per top-level build stage in the serving snapshot's span trace.")
+	for _, st := range g.stages {
+		fmt.Fprintf(w, "igdb_build_stage_seconds{stage=%q} %g\n", st.Name, st.Seconds)
+	}
+	help(w, "igdb_collect_retries_total", "counter", "Ingest fetch retries across all collects in this process.")
+	fmt.Fprintf(w, "igdb_collect_retries_total %d\n", g.collectRetries)
 }

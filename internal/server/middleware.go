@@ -2,15 +2,22 @@ package server
 
 import (
 	"context"
+	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"runtime/debug"
+	"sync/atomic"
 	"time"
+
+	"igdb/internal/obs"
 )
 
-// statusWriter records the response status for logs and metrics.
+// statusWriter records the response status and request ID for logs, metrics,
+// and error bodies.
 type statusWriter struct {
 	http.ResponseWriter
 	status int
+	reqID  string
 }
 
 func (w *statusWriter) WriteHeader(code int) {
@@ -27,21 +34,62 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	return w.ResponseWriter.Write(b)
 }
 
-// wrap applies the standard middleware stack to one endpoint: panic
-// recovery, inflight accounting, the concurrency limiter (unless the
-// endpoint is exempt, like /healthz and /metrics), a per-request timeout,
-// metrics, and the access log.
+type ctxKey int
+
+const requestIDKey ctxKey = 0
+
+// RequestID returns the request's ID ("" when the middleware did not run).
+func RequestID(r *http.Request) string {
+	id, _ := r.Context().Value(requestIDKey).(string)
+	return id
+}
+
+// reqCounter disambiguates request IDs generated in the same nanosecond.
+var reqCounter atomic.Uint64
+
+// newRequestID generates a process-unique request ID.
+func newRequestID() string {
+	return fmt.Sprintf("%x-%x", time.Now().UnixNano(), reqCounter.Add(1))
+}
+
+// maxRequestIDLen caps caller-provided X-Request-ID values so a hostile
+// client cannot bloat logs.
+const maxRequestIDLen = 128
+
+// requestID accepts the caller's X-Request-ID (truncated to a sane length)
+// or generates one, and echoes it on the response.
+func requestID(r *http.Request) string {
+	id := r.Header.Get("X-Request-ID")
+	if len(id) > maxRequestIDLen {
+		id = id[:maxRequestIDLen]
+	}
+	if id == "" {
+		id = newRequestID()
+	}
+	return id
+}
+
+// wrap applies the standard middleware stack to one endpoint: request-ID
+// assignment, panic recovery, inflight accounting, the concurrency limiter
+// (unless the endpoint is exempt, like /healthz and /metrics), a per-request
+// timeout, metrics, and the structured access log.
 func (s *Server) wrap(route string, limited bool, h http.HandlerFunc) http.Handler {
 	rs := s.metrics.route(route)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		t0 := time.Now()
-		sw := &statusWriter{ResponseWriter: w}
+		reqID := requestID(r)
+		w.Header().Set("X-Request-ID", reqID)
+		sw := &statusWriter{ResponseWriter: w, reqID: reqID}
+		r = r.WithContext(context.WithValue(r.Context(), requestIDKey, reqID))
 		s.metrics.inflight.Add(1)
 		defer func() {
 			s.metrics.inflight.Add(-1)
 			if rec := recover(); rec != nil {
 				s.metrics.panics.Add(1)
-				s.cfg.Logf("igdb-serve: panic on %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+				s.logger.Error("panic recovered",
+					obs.F("method", r.Method), obs.F("path", r.URL.Path),
+					obs.F("request_id", reqID), obs.F("panic", rec),
+					obs.F("stack", string(debug.Stack())))
 				if sw.status == 0 {
 					writeError(sw, http.StatusInternalServerError, "internal error")
 				}
@@ -52,8 +100,11 @@ func (s *Server) wrap(route string, limited bool, h http.HandlerFunc) http.Handl
 			}
 			elapsed := time.Since(t0)
 			s.metrics.observe(rs, status, elapsed)
-			s.cfg.Logf(`igdb-serve: access method=%s path=%s status=%d dur_ms=%.3f remote=%s`,
-				r.Method, r.URL.RequestURI(), status, float64(elapsed)/float64(time.Millisecond), r.RemoteAddr)
+			s.logger.Info("access",
+				obs.F("method", r.Method), obs.F("path", r.URL.RequestURI()),
+				obs.F("route", route), obs.F("status", status),
+				obs.F("dur_ms", fmt.Sprintf("%.3f", float64(elapsed)/float64(time.Millisecond))),
+				obs.F("remote", r.RemoteAddr), obs.F("request_id", reqID))
 		}()
 
 		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
@@ -85,4 +136,14 @@ func (s *Server) routes() {
 	s.mux.Handle("POST /admin/rebuild", s.wrap("/admin/rebuild", false, s.handleRebuild))
 	s.mux.Handle("GET /healthz", s.wrap("/healthz", false, s.handleHealthz))
 	s.mux.Handle("GET /metrics", s.wrap("/metrics", false, s.handleMetrics))
+	s.mux.Handle("GET /debug/queries", s.wrap("/debug/queries", false, s.handleQueryLog))
+	if s.cfg.EnablePprof {
+		// The pprof handlers manage their own output; they bypass wrap so
+		// profiles are not distorted by the request timeout.
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 }

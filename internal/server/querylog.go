@@ -1,0 +1,76 @@
+package server
+
+import (
+	"net/http"
+	"sync"
+	"time"
+)
+
+// QueryLogEntry is one recorded /sql statement that crossed the slow-query
+// threshold (or any statement when the threshold is negative).
+type QueryLogEntry struct {
+	Time       time.Time `json:"time"`
+	RequestID  string    `json:"request_id,omitempty"`
+	SQL        string    `json:"sql"`
+	Rows       int       `json:"rows"`
+	DurationMs float64   `json:"duration_ms"`
+	CacheHit   bool      `json:"cache_hit"`
+	Err        string    `json:"error,omitempty"`
+}
+
+// queryLog is a fixed-capacity ring buffer of slow queries. Writers never
+// block readers for long: add and entries both take one short mutex.
+type queryLog struct {
+	mu   sync.Mutex
+	buf  []QueryLogEntry
+	next int // index the next entry lands on
+	full bool
+}
+
+func newQueryLog(capacity int) *queryLog {
+	if capacity <= 0 {
+		capacity = 128
+	}
+	return &queryLog{buf: make([]QueryLogEntry, capacity)}
+}
+
+func (q *queryLog) add(e QueryLogEntry) {
+	q.mu.Lock()
+	q.buf[q.next] = e
+	q.next++
+	if q.next == len(q.buf) {
+		q.next = 0
+		q.full = true
+	}
+	q.mu.Unlock()
+}
+
+// entries returns the recorded queries, newest first.
+func (q *queryLog) entries() []QueryLogEntry {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	n := q.next
+	if q.full {
+		n = len(q.buf)
+	}
+	out := make([]QueryLogEntry, 0, n)
+	for i := 0; i < n; i++ {
+		idx := q.next - 1 - i
+		if idx < 0 {
+			idx += len(q.buf)
+		}
+		out = append(out, q.buf[idx])
+	}
+	return out
+}
+
+// handleQueryLog serves GET /debug/queries: the slow-query ring buffer,
+// newest first, plus the active threshold.
+func (s *Server) handleQueryLog(w http.ResponseWriter, r *http.Request) {
+	entries := s.qlog.entries()
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"threshold_ms": float64(s.slowMin) / float64(time.Millisecond),
+		"count":        len(entries),
+		"queries":      entries,
+	})
+}

@@ -1,0 +1,123 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// queryLogBody is the GET /debug/queries envelope.
+type queryLogBody struct {
+	ThresholdMs float64         `json:"threshold_ms"`
+	Count       int             `json:"count"`
+	Queries     []QueryLogEntry `json:"queries"`
+}
+
+func getQueryLog(t *testing.T, h http.Handler) queryLogBody {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/queries", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/debug/queries status = %d: %s", rec.Code, rec.Body.String())
+	}
+	var body queryLogBody
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+func TestSlowQueryLogRecordsAll(t *testing.T) {
+	// Negative threshold records every statement.
+	s := newTestServer(t, Config{SlowQueryMin: -1})
+	h := s.Handler()
+
+	req := httptest.NewRequest("POST", "/sql", strings.NewReader(`SELECT COUNT(*) FROM asn_name`))
+	req.Header.Set("X-Request-ID", "slow-1")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("sql status = %d", rec.Code)
+	}
+
+	body := getQueryLog(t, h)
+	if body.ThresholdMs != 0 {
+		t.Errorf("threshold_ms = %g, want 0 (record all)", body.ThresholdMs)
+	}
+	if body.Count != 1 || len(body.Queries) != 1 {
+		t.Fatalf("query log count = %d, want 1", body.Count)
+	}
+	q := body.Queries[0]
+	if q.SQL != `SELECT COUNT(*) FROM asn_name` {
+		t.Errorf("logged sql = %q", q.SQL)
+	}
+	if q.RequestID != "slow-1" {
+		t.Errorf("logged request_id = %q, want slow-1", q.RequestID)
+	}
+	if q.Rows != 1 || q.CacheHit || q.Err != "" {
+		t.Errorf("entry = %+v, want rows=1 cache_hit=false err=''", q)
+	}
+	if q.DurationMs < 0 {
+		t.Errorf("negative duration %g", q.DurationMs)
+	}
+	if s.Metrics().slowQueries.Load() != 1 {
+		t.Errorf("igdb_slow_queries_total = %d, want 1", s.Metrics().slowQueries.Load())
+	}
+
+	// A repeat of the same statement is served from the result cache and
+	// logged as a hit, newest first.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/sql", strings.NewReader(`SELECT COUNT(*) FROM asn_name`)))
+	body = getQueryLog(t, h)
+	if len(body.Queries) != 2 || !body.Queries[0].CacheHit {
+		t.Fatalf("after repeat: count=%d newest cache_hit=%v, want 2/true", len(body.Queries), body.Queries[0].CacheHit)
+	}
+
+	// Errors are recorded too.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/sql", strings.NewReader(`DELETE FROM asn_name`)))
+	body = getQueryLog(t, h)
+	if body.Queries[0].Err == "" {
+		t.Fatalf("rejected DML left no error in the query log: %+v", body.Queries[0])
+	}
+}
+
+func TestSlowQueryLogThreshold(t *testing.T) {
+	// With an hour-long threshold nothing in a test run qualifies.
+	s := newTestServer(t, Config{SlowQueryMin: time.Hour})
+	h := s.Handler()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/sql", strings.NewReader(`SELECT COUNT(*) FROM asn_name`)))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("sql status = %d", rec.Code)
+	}
+	body := getQueryLog(t, h)
+	if body.Count != 0 {
+		t.Fatalf("query log recorded %d fast queries, want 0", body.Count)
+	}
+	if body.ThresholdMs != float64(time.Hour/time.Millisecond) {
+		t.Errorf("threshold_ms = %g", body.ThresholdMs)
+	}
+	if s.Metrics().slowQueries.Load() != 0 {
+		t.Errorf("igdb_slow_queries_total = %d, want 0", s.Metrics().slowQueries.Load())
+	}
+}
+
+func TestQueryLogRingWraps(t *testing.T) {
+	q := newQueryLog(3)
+	for i := 0; i < 5; i++ {
+		q.add(QueryLogEntry{Rows: i})
+	}
+	got := q.entries()
+	if len(got) != 3 {
+		t.Fatalf("entries = %d, want 3", len(got))
+	}
+	for i, want := range []int{4, 3, 2} { // newest first
+		if got[i].Rows != want {
+			t.Errorf("entries[%d].Rows = %d, want %d", i, got[i].Rows, want)
+		}
+	}
+}

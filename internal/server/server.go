@@ -25,14 +25,15 @@ package server
 import (
 	"context"
 	"fmt"
-	"log"
 	"net/http"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"igdb/internal/core"
 	"igdb/internal/ingest"
+	"igdb/internal/obs"
 	"igdb/internal/paths"
 	"igdb/internal/reldb"
 )
@@ -71,8 +72,22 @@ type Config struct {
 	// RebuildEvery re-ingests from the store directory and swaps the
 	// snapshot on this period (0 = only on POST /admin/rebuild).
 	RebuildEvery time.Duration
-	// Logf receives structured access-log lines (default log.Printf).
+	// Logger receives structured server logs (access lines, rebuild
+	// outcomes, panics). When nil, Logf is bridged; when both are nil the
+	// server logs key=value text to stderr honoring IGDB_LOG_FORMAT and
+	// IGDB_LOG_LEVEL.
+	Logger *obs.Logger
+	// Logf is a legacy printf-style sink, bridged into a structured Logger
+	// when Logger is nil.
 	Logf func(format string, args ...interface{})
+	// SlowQueryMin is the /sql duration threshold past which a statement is
+	// recorded in the slow-query log (GET /debug/queries). 0 means the
+	// 250ms default; negative records every statement.
+	SlowQueryMin time.Duration
+	// QueryLogSize is the slow-query ring-buffer capacity (default 128).
+	QueryLogSize int
+	// EnablePprof mounts net/http/pprof under GET /debug/pprof/.
+	EnablePprof bool
 }
 
 func (c *Config) fillDefaults() {
@@ -91,9 +106,21 @@ func (c *Config) fillDefaults() {
 	if c.MaxResultRows <= 0 {
 		c.MaxResultRows = 10000
 	}
-	if c.Logf == nil {
-		c.Logf = log.Printf
+	if c.QueryLogSize <= 0 {
+		c.QueryLogSize = 128
 	}
+}
+
+// resolveLogger picks the structured logger: explicit Logger, a bridged
+// legacy Logf, or a fresh env-configured stderr logger.
+func (c *Config) resolveLogger() *obs.Logger {
+	if c.Logger != nil {
+		return c.Logger
+	}
+	if c.Logf != nil {
+		return obs.NewCallback(c.Logf)
+	}
+	return obs.FromEnv(os.Stderr)
 }
 
 // snapshot is one immutable built database plus everything derived from it.
@@ -119,6 +146,9 @@ type Server struct {
 	metrics *Metrics
 	sem     chan struct{}
 	mux     *http.ServeMux
+	logger  *obs.Logger
+	qlog    *queryLog
+	slowMin time.Duration // threshold for the slow-query log; 0 records all
 
 	// rebuildMu serializes rebuilds (and the store reload inside them).
 	rebuildMu sync.Mutex
@@ -142,11 +172,21 @@ func New(cfg Config) (*Server, error) {
 			return nil, fmt.Errorf("server: loading store: %w", err)
 		}
 	}
+	slowMin := cfg.SlowQueryMin
+	switch {
+	case slowMin == 0:
+		slowMin = 250 * time.Millisecond
+	case slowMin < 0:
+		slowMin = 0 // record every statement
+	}
 	s := &Server{
 		cfg:     cfg,
 		store:   store,
 		metrics: newMetrics(),
 		sem:     make(chan struct{}, cfg.MaxConcurrency),
+		logger:  cfg.resolveLogger(),
+		qlog:    newQueryLog(cfg.QueryLogSize),
+		slowMin: slowMin,
 	}
 	snap, err := s.buildSnapshot()
 	if err != nil {
@@ -169,6 +209,7 @@ func (s *Server) buildSnapshot() (*snapshot, error) {
 		AsOf:       s.cfg.AsOf,
 		Degraded:   s.cfg.Degraded,
 		StaleAfter: s.cfg.StaleAfter,
+		Logger:     s.logger,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("server: build: %w", err)
@@ -183,7 +224,7 @@ func (s *Server) buildSnapshot() (*snapshot, error) {
 			return nil, fmt.Errorf("server: paths pipeline: %w", err)
 		}
 		pipe, pipeErr = nil, err.Error()
-		s.cfg.Logf("igdb-serve: degraded: paths pipeline unavailable: %v", err)
+		s.logger.Warn("degraded: paths pipeline unavailable", obs.F("err", err))
 	}
 	resultSize := s.cfg.CacheSize
 	if resultSize < 0 {
@@ -227,7 +268,8 @@ func (s *Server) Rebuild() (uint64, time.Duration, error) {
 	s.snap.Store(snap)
 	s.noteRebuild(nil)
 	s.metrics.rebuilds.Add(1)
-	s.cfg.Logf("igdb-serve: snapshot %d ready (built in %v)", snap.seq, snap.buildTime.Round(time.Millisecond))
+	s.logger.Info("snapshot ready", obs.F("seq", snap.seq),
+		obs.F("build_time", snap.buildTime.Round(time.Millisecond)))
 	return snap.seq, snap.buildTime, nil
 }
 
@@ -290,7 +332,7 @@ func (s *Server) Run(ctx context.Context) error {
 					return
 				case <-tick.C:
 					if _, _, err := s.Rebuild(); err != nil {
-						s.cfg.Logf("igdb-serve: periodic rebuild failed: %v", err)
+						s.logger.Error("periodic rebuild failed", obs.F("err", err))
 					}
 				}
 			}
@@ -298,15 +340,16 @@ func (s *Server) Run(ctx context.Context) error {
 	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	s.cfg.Logf("igdb-serve: listening on %s (snapshot %d, %d tables)",
-		s.cfg.Addr, s.current().seq, len(s.current().g.Rel.TableNames()))
+	s.logger.Info("listening", obs.F("addr", s.cfg.Addr),
+		obs.F("snapshot", s.current().seq),
+		obs.F("tables", len(s.current().g.Rel.TableNames())))
 	select {
 	case err := <-errCh:
 		return err
 	case <-ctx.Done():
 		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
-		s.cfg.Logf("igdb-serve: shutting down")
+		s.logger.Info("shutting down")
 		return httpSrv.Shutdown(shutCtx)
 	}
 }

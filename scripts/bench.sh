@@ -1,0 +1,47 @@
+#!/bin/sh
+# Serving-layer and build-tracing benchmark harness.
+#
+# Runs the SQL-serving throughput benchmark (with and without the result
+# cache), the reldb prepared-vs-parse benchmark, and the traced-vs-untraced
+# build benchmark, then writes the parsed results to BENCH_serve.json at the
+# repo root.
+#
+# Usage:
+#   scripts/bench.sh            # full run (benchtime from BENCHTIME, default 1s)
+#   scripts/bench.sh --smoke    # one iteration per benchmark; correctness only
+set -eu
+
+cd "$(dirname "$0")/.."
+
+benchtime="${BENCHTIME:-1s}"
+if [ "${1:-}" = "--smoke" ]; then
+    benchtime=1x
+fi
+
+out=BENCH_serve.json
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+go test -run '^$' -bench 'BenchmarkServeSQLThroughput|BenchmarkBuildTraced' \
+    -benchtime "$benchtime" . | tee -a "$tmp"
+go test -run '^$' -bench 'BenchmarkPreparedVsQuery' \
+    -benchtime "$benchtime" ./internal/reldb/ | tee -a "$tmp"
+
+# Parse `BenchmarkName-P   N   X ns/op ...` lines into a JSON array. No jq
+# in the image, so awk renders the JSON directly.
+awk '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    iters = $2
+    nsop = ""
+    for (i = 3; i < NF; i++) if ($(i + 1) == "ns/op") nsop = $i
+    if (nsop == "") next
+    if (count++) printf ",\n"
+    printf "  {\"benchmark\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s}", name, iters, nsop
+}
+BEGIN { printf "[\n" }
+END   { printf "\n]\n" }
+' "$tmp" > "$out"
+
+echo "bench.sh: wrote $(grep -c '"benchmark"' "$out") results to $out"

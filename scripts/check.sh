@@ -23,4 +23,8 @@ go test -run 'Fuzz.*' ./...
 go test -race -run 'TestChaos|TestDegraded|TestStale|TestFailedRebuild|TestCollect|TestStoreConcurrent|TestFaults|TestDrop|TestFlaky' \
     ./internal/chaos/ ./internal/core/ ./internal/ingest/ ./internal/server/ ./cmd/igdb/
 
+# Smoke the benchmark harness (one iteration per benchmark) so bench.sh and
+# the benchmarks it drives cannot rot.
+scripts/bench.sh --smoke
+
 echo "check.sh: all green"
