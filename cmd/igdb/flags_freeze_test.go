@@ -1,0 +1,83 @@
+package main
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// frozenFlags is every flag registration in this package's sources, sorted,
+// duplicates included (several subcommands share -dir, -as-of, -degraded,
+// -stale-after). The igdblint PR must not grow igdb's CLI surface: new
+// tooling lives in cmd/igdblint. Extending igdb itself means updating this
+// list deliberately.
+var frozenFlags = []string{
+	"addr", "as-of", "as-of", "cache-size", "continue-on-error",
+	"degraded", "degraded", "dir", "dir", "dir", "format", "layer",
+	"log-json", "max-concurrency", "max-rows", "o", "pprof", "query-log",
+	"rebuild-every", "retries", "scale", "seed", "slow-query",
+	"stale-after", "stale-after", "timeout", "trace",
+}
+
+// flagMethods maps flag.FlagSet registration methods to the index of their
+// name argument.
+var flagMethods = map[string]int{
+	"String": 0, "Bool": 0, "Int": 0, "Int64": 0, "Uint": 0, "Uint64": 0,
+	"Float64": 0, "Duration": 0,
+	"StringVar": 1, "BoolVar": 1, "IntVar": 1, "Int64Var": 1, "UintVar": 1,
+	"Uint64Var": 1, "Float64Var": 1, "DurationVar": 1,
+}
+
+func TestNoNewFlags(t *testing.T) {
+	entries, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	var got []string
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(".", name), nil, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			argIdx, ok := flagMethods[sel.Sel.Name]
+			if !ok || argIdx >= len(call.Args) {
+				return true
+			}
+			lit, ok := call.Args[argIdx].(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				return true
+			}
+			name, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				return true
+			}
+			got = append(got, name)
+			return true
+		})
+	}
+	sort.Strings(got)
+	if !reflect.DeepEqual(got, frozenFlags) {
+		t.Errorf("igdb's flag surface changed.\n got: %q\nwant: %q\nIf the change is intentional, update frozenFlags.", got, frozenFlags)
+	}
+}

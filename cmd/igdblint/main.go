@@ -1,0 +1,98 @@
+// Command igdblint is iGDB's project-aware static analyzer. It proves, at
+// lint time, invariants the Go compiler cannot: every SQL literal parses
+// and matches the canonical internal/core schema (sqlcheck), internal
+// packages neither drop errors (errdrop) nor bypass internal/obs
+// (logdiscipline), every Prometheus metric is named and documented
+// correctly (metriclint), and mutex-guard annotations hold (guardedby).
+//
+// Usage:
+//
+//	igdblint [-json] [packages...]   lint packages (default ./...)
+//	igdblint -rules                  list analyzers with one-line docs
+//
+// Findings print as file:line:col: rule: message and make the exit status
+// non-zero (1 = findings, 2 = usage or load failure). A finding is
+// suppressed by the directive `//lint:ignore <rule> <reason>` on the same
+// or the preceding line; directives with unknown rules or missing reasons
+// are themselves findings.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"igdb/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("igdblint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
+	rules := fs.Bool("rules", false, "list analyzers and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	linter := lint.NewLinter()
+	if *rules {
+		for _, a := range linter.Analyzers {
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, fset, err := lint.Load(patterns)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	findings := linter.Run(pkgs, fset)
+	relativize(findings)
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []lint.Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintln(stdout, f)
+		}
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "igdblint: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}
+
+// relativize rewrites absolute file paths relative to the working
+// directory when that makes them shorter and clickable.
+func relativize(findings []lint.Finding) {
+	wd, err := os.Getwd()
+	if err != nil {
+		return
+	}
+	for i, f := range findings {
+		if rel, err := filepath.Rel(wd, f.File); err == nil && len(rel) < len(f.File) {
+			findings[i].File = rel
+		}
+	}
+}

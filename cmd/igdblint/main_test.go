@@ -1,0 +1,77 @@
+package main
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"igdb/internal/lint"
+)
+
+// TestRulesFlag locks the -rules listing: exactly the five analyzers, each
+// with a one-line doc.
+func TestRulesFlag(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-rules"}, &out, &errb); code != 0 {
+		t.Fatalf("igdblint -rules exited %d, stderr: %s", code, errb.String())
+	}
+	lines := strings.Split(strings.TrimRight(out.String(), "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("expected 5 analyzer lines, got %d:\n%s", len(lines), out.String())
+	}
+	for i, name := range []string{"sqlcheck", "errdrop", "logdiscipline", "metriclint", "guardedby"} {
+		fields := strings.Fields(lines[i])
+		if len(fields) < 2 || fields[0] != name {
+			t.Errorf("line %d: want analyzer %q with a doc string, got %q", i, name, lines[i])
+		}
+	}
+}
+
+// TestJSONCleanPackage: a clean package yields an empty JSON array (not
+// null) and exit status 0.
+func TestJSONCleanPackage(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-json", "./testdata/src/internal/clean"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d on clean package, stderr: %s", code, errb.String())
+	}
+	if got := strings.TrimSpace(out.String()); got != "[]" {
+		t.Fatalf("want empty JSON array, got %q", got)
+	}
+}
+
+// TestJSONFindings: findings come back as parseable JSON with relative
+// paths, and the exit status is 1.
+func TestJSONFindings(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-json", "./testdata/src/internal/errdrop"}, &out, &errb); code != 1 {
+		t.Fatalf("want exit 1 on findings, got %d, stderr: %s", code, errb.String())
+	}
+	var findings []lint.Finding
+	if err := json.Unmarshal([]byte(out.String()), &findings); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out.String())
+	}
+	if len(findings) != 3 {
+		t.Fatalf("want 3 errdrop findings, got %d: %v", len(findings), findings)
+	}
+	for _, f := range findings {
+		if f.Rule != "errdrop" {
+			t.Errorf("unexpected rule %q in %v", f.Rule, f)
+		}
+		if filepath.IsAbs(f.File) {
+			t.Errorf("finding path not relativized: %s", f.File)
+		}
+	}
+	if !strings.Contains(errb.String(), "3 finding(s)") {
+		t.Errorf("stderr missing findings count: %q", errb.String())
+	}
+}
+
+// TestBadPattern: load failures are usage errors (exit 2), distinct from
+// findings (exit 1).
+func TestBadPattern(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"./testdata/does-not-exist"}, &out, &errb); code != 2 {
+		t.Fatalf("want exit 2 on a bad pattern, got %d", code)
+	}
+}

@@ -1,0 +1,25 @@
+// Package directives is igdblint golden-corpus input: the //lint:ignore
+// suppression directive itself.
+package directives
+
+import "os"
+
+func suppressed() {
+	//lint:ignore errdrop best-effort scratch cleanup; absence is fine
+	os.Remove("scratch")
+}
+
+func notSuppressed() {
+	// The directive above suppresses exactly one site: the same violation
+	// here still fires.
+	os.Remove("scratch") // want `errdrop: call discards its error result`
+}
+
+func badDirectives() {
+	//lint:ignore typosquat this rule does not exist // want `directive: //lint:ignore names unknown rule "typosquat"`
+	// want-next `directive: //lint:ignore errdrop needs a reason`
+	//lint:ignore errdrop
+	// want-next `directive: malformed //lint:ignore`
+	//lint:ignore
+	os.Remove("scratch") // want `errdrop: call discards its error result`
+}

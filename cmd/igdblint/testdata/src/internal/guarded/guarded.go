@@ -1,0 +1,34 @@
+// Package guarded is igdblint golden-corpus input: mutex guard
+// annotations on struct fields.
+package guarded
+
+import "sync"
+
+type counter struct {
+	mu sync.RWMutex
+	n  int            // guarded by mu
+	m  map[string]int // guarded by mu
+}
+
+func (c *counter) inc(k string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+	c.m[k]++
+}
+
+func (c *counter) snapshot() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.n
+}
+
+func (c *counter) racyRead() int {
+	return c.n // want `guardedby: c.n is guarded by mu but racyRead does not lock it`
+}
+
+func (c *counter) racyWrite(k string) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	c.m[k]++ // want `guardedby: c.m is written under mu.RLock`
+}

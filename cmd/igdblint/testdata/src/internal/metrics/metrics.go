@@ -1,0 +1,27 @@
+// Package metrics is igdblint golden-corpus input: metric exposition
+// hygiene, the static form of the server's TestMetricsExposition.
+package metrics
+
+import (
+	"fmt"
+	"io"
+)
+
+func help(w io.Writer, name, typ, text string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, text, name, typ)
+}
+
+func write(w io.Writer) {
+	help(w, "igdb_good_total", "counter", "A well-formed counter.")
+	fmt.Fprintf(w, "igdb_good_total %d\n", 1)
+
+	help(w, "igdb_Bad_Name", "counter", "Name violates the convention.")      // want `metriclint: metric name "igdb_Bad_Name" does not match`
+	help(w, "igdb_bad_type_total", "meter", "Type is not a Prometheus type.") // want `metriclint: metric "igdb_bad_type_total" has invalid TYPE "meter"`
+	help(w, "igdb_empty_help_total", "counter", "")                           // want `metriclint: metric "igdb_empty_help_total" has empty HELP text`
+	fmt.Fprintf(w, "igdb_undeclared_total %d\n", 2)                           // want `metriclint: metric "igdb_undeclared_total" emitted without a help`
+
+	help(w, "igdb_lat_ms", "histogram", "Latency histogram in milliseconds.")
+	fmt.Fprintf(w, "igdb_lat_ms_bucket{le=\"1\"} %d\n", 3)
+	fmt.Fprintf(w, "igdb_lat_ms_sum %g\n", 0.25)
+	fmt.Fprintf(w, "igdb_lat_ms_count %d\n", 3)
+}

@@ -1,0 +1,28 @@
+// Package sqlbad is igdblint golden-corpus input: SQL that fails to parse
+// or has drifted from the canonical internal/core schema.
+package sqlbad
+
+import "igdb/internal/reldb"
+
+// brokenSQL fails to parse; harvested through the *SQL naming convention.
+const brokenSQL = "SELECT FROM phys_nodes" // want `sqlcheck: parse error`
+
+// driftedSQL parses but names a column the canonical schema does not have.
+const driftedSQL = "SELECT p.node_name, p.altitude FROM phys_nodes p" // want `sqlcheck: table "phys_nodes" has no column "altitude"`
+
+func badColumn(db *reldb.DB) *reldb.Rows {
+	// Entry-point harvesting: the literal goes straight to a reldb call.
+	return db.MustQuery("SELECT whereabouts FROM ixps") // want `sqlcheck: no table in scope has column "whereabouts"`
+}
+
+func badTable(db *reldb.DB) (int, error) {
+	return db.Exec("DELETE FROM no_such_table") // want `sqlcheck: unknown table "no_such_table"`
+}
+
+func localTable(db *reldb.DB) {
+	// A harvested CREATE TABLE extends the schema for this lint run, so
+	// queries against run-local tables validate cleanly.
+	db.MustExec("CREATE TABLE scratch (k TEXT, v TEXT)")
+	db.MustExec("INSERT INTO scratch VALUES ('a', 'b')")
+	db.MustQuery("SELECT k, v FROM scratch")
+}

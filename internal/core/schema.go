@@ -1,0 +1,77 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"igdb/internal/reldb"
+)
+
+// SchemaDDL is the canonical iGDB schema: every Figure 2 relation plus the
+// operational relations (source_status, build_trace) and their indexes, as
+// executable DDL. It is the single source of truth — Build executes exactly
+// these statements, SchemaTables derives the machine-readable form from
+// them, and cmd/igdblint's sqlcheck analyzer validates every SQL literal in
+// the repository against it. as_of_date is mandatory on all paper relations
+// (§3's snapshot semantics).
+var SchemaDDL = []string{
+	`CREATE TABLE city_points (city TEXT, state_province TEXT, country TEXT,
+		longitude REAL, latitude REAL, population INTEGER, as_of_date TEXT)`,
+	`CREATE TABLE city_polygons (city TEXT, state_province TEXT, country TEXT,
+		geom TEXT, as_of_date TEXT)`,
+	`CREATE TABLE phys_nodes (node_name TEXT, organization TEXT, metro TEXT,
+		state_province TEXT, country TEXT, latitude REAL, longitude REAL,
+		source TEXT, as_of_date TEXT)`,
+	`CREATE TABLE std_paths (from_metro TEXT, from_state TEXT, from_country TEXT,
+		to_metro TEXT, to_state TEXT, to_country TEXT, distance_km REAL,
+		path_wkt TEXT, as_of_date TEXT)`,
+	`CREATE TABLE sub_cables (cable_id INTEGER, cable_name TEXT, length_km REAL,
+		cable_wkt TEXT, as_of_date TEXT)`,
+	`CREATE TABLE land_points (cable_id INTEGER, city TEXT, state_province TEXT,
+		country TEXT, latitude REAL, longitude REAL, as_of_date TEXT)`,
+	`CREATE TABLE asn_name (asn INTEGER, asn_name TEXT, source TEXT, as_of_date TEXT)`,
+	`CREATE TABLE asn_org (asn INTEGER, organization TEXT, source TEXT, as_of_date TEXT)`,
+	`CREATE TABLE asn_conn (from_asn INTEGER, to_asn INTEGER, rel INTEGER, as_of_date TEXT)`,
+	`CREATE TABLE asn_loc (asn INTEGER, metro TEXT, state_province TEXT,
+		country TEXT, source TEXT, remote BOOLEAN, as_of_date TEXT)`,
+	`CREATE TABLE ixps (ixp_name TEXT, metro TEXT, country TEXT, source TEXT, as_of_date TEXT)`,
+	`CREATE TABLE ixp_prefixes (ixp_name TEXT, prefix TEXT, source TEXT, as_of_date TEXT)`,
+	`CREATE TABLE rdns (ip TEXT, hostname TEXT, as_of_date TEXT)`,
+	`CREATE TABLE anchors (anchor_id INTEGER, ip TEXT, asn INTEGER,
+		metro TEXT, state_province TEXT, country TEXT, latitude REAL,
+		longitude REAL, as_of_date TEXT)`,
+	`CREATE TABLE ip_asn_dns (ip TEXT, asn INTEGER, hostname TEXT, metro TEXT,
+		state_province TEXT, country TEXT, geo_source TEXT, as_of_date TEXT)`,
+	`CREATE TABLE source_status (source TEXT, status TEXT, error TEXT,
+		rows_loaded INTEGER, load_ms REAL, as_of_date TEXT)`,
+	`CREATE TABLE build_trace (span TEXT, parent TEXT, depth INTEGER,
+		start_ms REAL, duration_ms REAL, attrs TEXT)`,
+	`CREATE INDEX ON asn_loc (asn)`,
+	`CREATE INDEX ON asn_name (asn)`,
+	`CREATE INDEX ON asn_org (asn)`,
+	`CREATE INDEX ON phys_nodes (metro)`,
+	`CREATE INDEX ON rdns (ip)`,
+}
+
+// SchemaTables parses SchemaDDL into the machine-readable table → column
+// mapping consumed by static tooling (sqlcheck) and tests. The DDL is under
+// our control, so a malformed statement is a programming error and panics.
+func SchemaTables() reldb.Schema {
+	schema := make(reldb.Schema, len(SchemaDDL))
+	for _, ddl := range SchemaDDL {
+		st, err := reldb.ParseStatement(ddl)
+		if err != nil {
+			panic(fmt.Sprintf("core: invalid schema DDL %q: %v", ddl, err))
+		}
+		ct, ok := st.(*reldb.CreateTableStmt)
+		if !ok {
+			continue // CREATE INDEX — validated against the tables below
+		}
+		cols := make([]string, len(ct.Cols))
+		for i, c := range ct.Cols {
+			cols[i] = strings.ToLower(c.Name)
+		}
+		schema[strings.ToLower(ct.Name)] = cols
+	}
+	return schema
+}

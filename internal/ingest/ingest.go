@@ -105,7 +105,7 @@ type Store struct {
 	dir string
 
 	mu  sync.RWMutex
-	mem map[string][]Snapshot
+	mem map[string][]Snapshot // guarded by mu
 }
 
 var (
@@ -203,7 +203,10 @@ func (s *Store) Load() error {
 	return nil
 }
 
+// hasLocked reports whether a snapshot of source at exactly asOf is already
+// in memory. Callers hold s.mu, per the *Locked naming convention.
 func (s *Store) hasLocked(source string, asOf time.Time) bool {
+	//lint:ignore guardedby callers hold s.mu (the *Locked suffix convention)
 	for _, sn := range s.mem[source] {
 		if sn.AsOf.Equal(asOf) {
 			return true

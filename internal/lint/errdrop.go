@@ -1,0 +1,118 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// newErrDrop builds the errdrop analyzer: inside internal packages, an
+// error-typed result may not be assigned to _ or discarded by calling a
+// function as a bare statement. fmt's printing functions and the
+// never-failing bytes.Buffer / strings.Builder writers are exempt; deferred
+// and go'd calls are left to reviewers (flow analysis cannot tell a benign
+// deferred Close from a harmful one without more context).
+func newErrDrop() *Analyzer {
+	a := &Analyzer{
+		Name: "errdrop",
+		Doc:  "internal packages must not discard error results (assign to _ or ignore a call's error)",
+	}
+	a.Run = func(pass *Pass) {
+		if !pass.Internal() {
+			return
+		}
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch x := n.(type) {
+				case *ast.AssignStmt:
+					checkAssign(pass, x)
+				case *ast.ExprStmt:
+					if call, ok := x.X.(*ast.CallExpr); ok {
+						checkIgnoredCall(pass, call)
+					}
+				}
+				return true
+			})
+		}
+	}
+	return a
+}
+
+// checkAssign flags error values assigned to the blank identifier.
+func checkAssign(pass *Pass, as *ast.AssignStmt) {
+	blankAt := func(i int) bool {
+		id, ok := as.Lhs[i].(*ast.Ident)
+		return ok && id.Name == "_"
+	}
+	if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+		// x, _ := f()
+		tv, ok := pass.Info.Types[as.Rhs[0]]
+		if !ok {
+			return
+		}
+		tuple, ok := tv.Type.(*types.Tuple)
+		if !ok || tuple.Len() != len(as.Lhs) {
+			return
+		}
+		for i := range as.Lhs {
+			if blankAt(i) && isErrorType(tuple.At(i).Type()) {
+				pass.Reportf(as.Lhs[i].Pos(), "error result assigned to _; handle it (or annotate with //lint:ignore errdrop <reason>)")
+			}
+		}
+		return
+	}
+	for i := range as.Lhs {
+		if i >= len(as.Rhs) || !blankAt(i) {
+			continue
+		}
+		if tv, ok := pass.Info.Types[as.Rhs[i]]; ok && tv.Type != nil && isErrorType(tv.Type) {
+			pass.Reportf(as.Lhs[i].Pos(), "error result assigned to _; handle it (or annotate with //lint:ignore errdrop <reason>)")
+		}
+	}
+}
+
+// checkIgnoredCall flags statement-position calls whose error result
+// vanishes.
+func checkIgnoredCall(pass *Pass, call *ast.CallExpr) {
+	tv, ok := pass.Info.Types[call]
+	if !ok || tv.Type == nil {
+		return
+	}
+	returnsError := false
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				returnsError = true
+			}
+		}
+	default:
+		returnsError = isErrorType(t)
+	}
+	if !returnsError || exemptFromErrDrop(pass.Info, call) {
+		return
+	}
+	pass.Reportf(call.Pos(), "call discards its error result; handle it (or annotate with //lint:ignore errdrop <reason>)")
+}
+
+// exemptFromErrDrop excludes callees whose errors are conventionally
+// meaningless: fmt printing (the io.Writer targets used here never fail
+// mid-render) and the in-memory bytes.Buffer / strings.Builder writers,
+// which are documented to always return nil errors.
+func exemptFromErrDrop(info *types.Info, call *ast.CallExpr) bool {
+	obj := calleeObject(info, call)
+	if obj == nil {
+		return false
+	}
+	if obj.Pkg() != nil && obj.Pkg().Path() == "fmt" {
+		return true
+	}
+	if sig, ok := obj.Type().(*types.Signature); ok {
+		if named := namedReceiver(sig); named != nil && named.Obj().Pkg() != nil {
+			pkg, name := named.Obj().Pkg().Path(), named.Obj().Name()
+			if (pkg == "bytes" && name == "Buffer") || (pkg == "strings" && name == "Builder") {
+				return true
+			}
+		}
+	}
+	return false
+}

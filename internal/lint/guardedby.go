@@ -1,0 +1,191 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+)
+
+// guardedByRE matches the annotation in a struct field's doc or trailing
+// comment: `// <field> guarded by mu` or just `// guarded by mu`.
+var guardedByRE = regexp.MustCompile(`guarded by (\w+)`)
+
+// guardSpec records that a named struct type's field is protected by its
+// mutex field.
+type guardSpec struct {
+	field string
+	mu    string
+}
+
+// newGuardedBy builds the guardedby analyzer: a struct field annotated
+// `// guarded by mu` may only be read or written inside methods of that
+// type which lock the same receiver's mu (mu.Lock or mu.RLock; writes
+// require the exclusive Lock). The check is flow-insensitive and scoped to
+// methods — helpers that run with the lock already held document that with
+// //lint:ignore guardedby <reason>.
+func newGuardedBy() *Analyzer {
+	a := &Analyzer{
+		Name: "guardedby",
+		Doc:  "fields annotated '// guarded by mu' may only be accessed in methods that lock mu on the same receiver",
+	}
+	a.Run = func(pass *Pass) {
+		// Pass 1: collect annotations, keyed by the struct's type name object.
+		guards := map[types.Object][]guardSpec{}
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				ts, ok := n.(*ast.TypeSpec)
+				if !ok {
+					return true
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					return true
+				}
+				obj := pass.Info.Defs[ts.Name]
+				if obj == nil {
+					return true
+				}
+				for _, field := range st.Fields.List {
+					mu := annotationMutex(field)
+					if mu == "" {
+						continue
+					}
+					for _, name := range field.Names {
+						guards[obj] = append(guards[obj], guardSpec{field: name.Name, mu: mu})
+					}
+				}
+				return true
+			})
+		}
+		if len(guards) == 0 {
+			return
+		}
+		// Pass 2: audit every method of an annotated type.
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Recv == nil || len(fn.Recv.List) == 0 || fn.Body == nil {
+					continue
+				}
+				recvField := fn.Recv.List[0]
+				if len(recvField.Names) == 0 {
+					continue // unnamed receiver cannot access fields
+				}
+				recvObj := pass.Info.Defs[recvField.Names[0]]
+				if recvObj == nil {
+					continue
+				}
+				named := derefNamed(recvObj.Type())
+				if named == nil {
+					continue
+				}
+				specs := guards[named.Obj()]
+				if len(specs) == 0 {
+					continue
+				}
+				auditMethod(pass, fn, recvObj, specs)
+			}
+		}
+	}
+	return a
+}
+
+// annotationMutex extracts the guard's mutex name from a field's comments.
+func annotationMutex(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedByRE.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// auditMethod checks one method's accesses to guarded fields against the
+// locks it takes on its receiver.
+func auditMethod(pass *Pass, fn *ast.FuncDecl, recvObj types.Object, specs []guardSpec) {
+	type access struct {
+		pos   ast.Node
+		spec  guardSpec
+		write bool
+	}
+	var accesses []access
+	locked := map[string]string{} // mutex name -> "Lock" | "RLock" (strongest seen)
+
+	// recvSelector returns the field name if e is recv.<field>, else "".
+	recvSelector := func(e ast.Expr) string {
+		sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+		if !ok {
+			return ""
+		}
+		id, ok := ast.Unparen(sel.X).(*ast.Ident)
+		if !ok || pass.Info.Uses[id] != recvObj {
+			return ""
+		}
+		return sel.Sel.Name
+	}
+
+	writes := map[ast.Expr]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				writes[lhs] = true
+				// Writing an element of a guarded map/slice mutates the
+				// guarded field too: mark the indexed expression.
+				if idx, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+					writes[idx.X] = true
+				}
+			}
+		case *ast.IncDecStmt:
+			writes[x.X] = true
+			if idx, ok := ast.Unparen(x.X).(*ast.IndexExpr); ok {
+				writes[idx.X] = true
+			}
+		case *ast.CallExpr:
+			// recv.mu.Lock() / recv.mu.RLock() — a two-level selector.
+			if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok {
+				method := sel.Sel.Name
+				if method == "Lock" || method == "RLock" {
+					if mu := recvSelector(sel.X); mu != "" {
+						if method == "Lock" || locked[mu] == "" {
+							locked[mu] = method
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		e, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		field := recvSelector(e)
+		if field == "" {
+			return true
+		}
+		for _, spec := range specs {
+			if spec.field == field {
+				accesses = append(accesses, access{pos: e, spec: spec, write: writes[e]})
+			}
+		}
+		return true
+	})
+
+	for _, acc := range accesses {
+		held := locked[acc.spec.mu]
+		switch {
+		case held == "":
+			pass.Reportf(acc.pos.Pos(), "%s.%s is guarded by %s but %s does not lock it",
+				recvObj.Name(), acc.spec.field, acc.spec.mu, fn.Name.Name)
+		case acc.write && held == "RLock":
+			pass.Reportf(acc.pos.Pos(), "%s.%s is written under %s.RLock; writes need the exclusive Lock",
+				recvObj.Name(), acc.spec.field, acc.spec.mu)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// newLogDiscipline builds the logdiscipline analyzer: internal packages
+// must route diagnostics through internal/obs — no fmt.Print*/log.* and no
+// fmt.Fprint* aimed at os.Stdout or os.Stderr. The obs package itself is
+// the designated sink and is exempt; cmd/ and examples/ own their stdio.
+func newLogDiscipline() *Analyzer {
+	a := &Analyzer{
+		Name: "logdiscipline",
+		Doc:  "internal packages must log via internal/obs, not fmt.Print*/log.* or writes to os.Std{out,err}",
+	}
+	a.Run = func(pass *Pass) {
+		if !pass.Internal() || strings.HasSuffix(pass.ImportPath, "/obs") {
+			return
+		}
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				obj := calleeObject(pass.Info, call)
+				switch {
+				case isPkgFunc(obj, "fmt", "Print", "Printf", "Println"):
+					pass.Reportf(call.Pos(), "%s.%s writes to process stdout; use internal/obs", obj.Pkg().Name(), obj.Name())
+				case obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "log":
+					pass.Reportf(call.Pos(), "package log bypasses internal/obs; use an *obs.Logger")
+				case isPkgFunc(obj, "fmt", "Fprint", "Fprintf", "Fprintln") && len(call.Args) > 0:
+					if std := stdStream(pass, call.Args[0]); std != "" {
+						pass.Reportf(call.Pos(), "fmt.%s to os.%s bypasses internal/obs; use an *obs.Logger", obj.Name(), std)
+					}
+				}
+				return true
+			})
+		}
+	}
+	return a
+}
+
+// stdStream reports whether e is the os.Stdout or os.Stderr variable.
+func stdStream(pass *Pass, e ast.Expr) string {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	obj := pass.Info.Uses[sel.Sel]
+	if obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "os" &&
+		(obj.Name() == "Stdout" || obj.Name() == "Stderr") {
+		return obj.Name()
+	}
+	return ""
+}

@@ -1,0 +1,96 @@
+package lint
+
+import (
+	"go/ast"
+	"regexp"
+	"strings"
+)
+
+// metricNameRE is the project metric naming convention: igdb_ prefix,
+// lower-case snake, optionally ending in Prometheus histogram suffixes.
+var metricNameRE = regexp.MustCompile(`^igdb_[a-z][a-z0-9_]*$`)
+
+// metricBaseRE extracts the metric name at the start of an exposition
+// format string ("igdb_requests_total{route=%q} %d\n" → igdb_requests_total).
+var metricBaseRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*`)
+
+// newMetricLint builds the metriclint analyzer — the static form of the
+// server's runtime TestMetricsExposition: every metric name declared via
+// help(w, name, type, text) must match igdb_[a-z0-9_]+ with a Prometheus
+// type and non-empty help text, and every exposition line a package writes
+// (a fmt.Fprint* whose format literal starts with "igdb_") must correspond
+// to a declared metric — histogram _bucket/_sum/_count series resolve to
+// their declared histogram.
+func newMetricLint() *Analyzer {
+	a := &Analyzer{
+		Name: "metriclint",
+		Doc:  "metric names must match igdb_[a-z0-9_]+ and every emitted series needs a help(name, type, text) declaration",
+	}
+	a.Run = func(pass *Pass) {
+		type emission struct {
+			pos  ast.Node
+			base string
+		}
+		declared := map[string]string{} // name -> type
+		var emissions []emission
+
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				// help(w, name, typ, text) declarations.
+				if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "help" && len(call.Args) == 4 {
+					name, nameOK := constString(pass.Info, call.Args[1])
+					typ, typOK := constString(pass.Info, call.Args[2])
+					text, textOK := constString(pass.Info, call.Args[3])
+					switch {
+					case !nameOK || !typOK || !textOK:
+						pass.Reportf(call.Pos(), "metric declaration must use string literals so it can be verified statically")
+					case !metricNameRE.MatchString(name):
+						pass.Reportf(call.Args[1].Pos(), "metric name %q does not match igdb_[a-z0-9_]+", name)
+					case typ != "counter" && typ != "gauge" && typ != "histogram":
+						pass.Reportf(call.Args[2].Pos(), "metric %q has invalid TYPE %q (want counter, gauge, or histogram)", name, typ)
+					case strings.TrimSpace(text) == "":
+						pass.Reportf(call.Args[3].Pos(), "metric %q has empty HELP text", name)
+					default:
+						declared[name] = typ
+					}
+					return true
+				}
+				// fmt.Fprint* exposition lines.
+				obj := calleeObject(pass.Info, call)
+				if isPkgFunc(obj, "fmt", "Fprintf", "Fprint", "Fprintln") && len(call.Args) >= 2 {
+					if format, ok := constString(pass.Info, call.Args[1]); ok && strings.HasPrefix(format, "igdb_") {
+						if base := metricBaseRE.FindString(format); base != "" {
+							emissions = append(emissions, emission{pos: call.Args[1], base: base})
+						}
+					}
+				}
+				return true
+			})
+		}
+
+		for _, e := range emissions {
+			if !metricNameRE.MatchString(e.base) {
+				pass.Reportf(e.pos.Pos(), "emitted metric %q does not match igdb_[a-z0-9_]+", e.base)
+				continue
+			}
+			if _, ok := declared[e.base]; ok {
+				continue
+			}
+			if hist, ok := strings.CutSuffix(e.base, "_bucket"); ok && declared[hist] == "histogram" {
+				continue
+			}
+			if hist, ok := strings.CutSuffix(e.base, "_sum"); ok && declared[hist] == "histogram" {
+				continue
+			}
+			if hist, ok := strings.CutSuffix(e.base, "_count"); ok && declared[hist] == "histogram" {
+				continue
+			}
+			pass.Reportf(e.pos.Pos(), "metric %q emitted without a help(name, type, text) declaration in this package", e.base)
+		}
+	}
+	return a
+}

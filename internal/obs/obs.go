@@ -332,7 +332,12 @@ func writeJSONField(b *strings.Builder, f Field, seen map[string]bool) {
 func mustJSON(v interface{}) string {
 	raw, err := json.Marshal(v)
 	if err != nil {
-		raw, _ = json.Marshal(fmt.Sprint(v))
+		// Marshaling a plain string cannot fail, so this second error
+		// branch is unreachable; it exists so no error is ever dropped.
+		raw, err = json.Marshal(fmt.Sprint(v))
+		if err != nil {
+			return `"unserializable"`
+		}
 	}
 	return string(raw)
 }

@@ -1,0 +1,98 @@
+package reldb_test
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"igdb/internal/lint"
+)
+
+// corpusDir is FuzzParseStatement's seed corpus; `go test -run Fuzz` and
+// `go test -fuzz` both replay every file in it.
+const corpusDir = "testdata/fuzz/FuzzParseStatement"
+
+// TestHarvestedFuzzCorpus keeps the fuzz seed corpus in sync with the SQL
+// the codebase actually issues: every statement igdblint's harvester finds
+// (reldb call arguments, *SQL consts, SQL-shaped literals) must exist as a
+// committed harvested-<hash> seed file, and no stale harvested seeds may
+// linger. On drift it fails with the exact delta; run with
+// IGDB_UPDATE_FUZZ_CORPUS=1 to rewrite the files.
+func TestHarvestedFuzzCorpus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harvesting loads and type-checks the whole module")
+	}
+	pkgs, fset, err := lint.Load([]string{"igdb/..."})
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	want := map[string]string{} // filename -> seed file content
+	for _, pkg := range pkgs {
+		for _, use := range lint.HarvestSQL(pkg, fset) {
+			sum := sha256.Sum256([]byte(use.SQL))
+			name := "harvested-" + hex.EncodeToString(sum[:8])
+			want[name] = fmt.Sprintf("go test fuzz v1\nstring(%q)\n", use.SQL)
+		}
+	}
+	if len(want) == 0 {
+		t.Fatal("harvested no SQL from the module; the lint harvester is broken")
+	}
+
+	got := map[string]string{}
+	entries, err := os.ReadDir(corpusDir)
+	if err != nil && !os.IsNotExist(err) {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !strings.HasPrefix(e.Name(), "harvested-") {
+			continue // hand-written or fuzzer-found seeds are not managed here
+		}
+		data, err := os.ReadFile(filepath.Join(corpusDir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got[e.Name()] = string(data)
+	}
+
+	var missing, stale []string
+	for name := range want {
+		if got[name] != want[name] {
+			missing = append(missing, name)
+		}
+	}
+	for name := range got {
+		if _, ok := want[name]; !ok {
+			stale = append(stale, name)
+		}
+	}
+	sort.Strings(missing)
+	sort.Strings(stale)
+	if len(missing) == 0 && len(stale) == 0 {
+		t.Logf("corpus in sync: %d harvested seeds", len(want))
+		return
+	}
+
+	if os.Getenv("IGDB_UPDATE_FUZZ_CORPUS") == "" {
+		t.Fatalf("fuzz seed corpus out of sync with harvested SQL (missing %d, stale %d).\nmissing: %v\nstale: %v\nRun: IGDB_UPDATE_FUZZ_CORPUS=1 go test ./internal/reldb -run TestHarvestedFuzzCorpus",
+			len(missing), len(stale), missing, stale)
+	}
+	if err := os.MkdirAll(corpusDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range missing {
+		if err := os.WriteFile(filepath.Join(corpusDir, name), []byte(want[name]), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, name := range stale {
+		if err := os.Remove(filepath.Join(corpusDir, name)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Logf("corpus updated: wrote %d, removed %d", len(missing), len(stale))
+}

@@ -1,0 +1,253 @@
+package reldb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Schema is the parse-time view of a database: lower-cased table names
+// mapped to their lower-cased column names in declaration order. It is the
+// contract between the canonical DDL (internal/core.SchemaTables) and
+// static tooling: ValidateStatement checks a parsed statement against a
+// Schema without ever touching a live DB.
+type Schema map[string][]string
+
+// Clone returns a deep copy, so callers can extend a base schema with
+// dynamically created tables without mutating the original.
+func (s Schema) Clone() Schema {
+	out := make(Schema, len(s))
+	for t, cols := range s {
+		out[t] = append([]string(nil), cols...)
+	}
+	return out
+}
+
+// AddCreate records st's table in the schema, mirroring what executing the
+// DDL would create.
+func (s Schema) AddCreate(st *CreateTableStmt) {
+	cols := make([]string, len(st.Cols))
+	for i, c := range st.Cols {
+		cols[i] = strings.ToLower(c.Name)
+	}
+	s[strings.ToLower(st.Name)] = cols
+}
+
+func (s Schema) hasColumn(table, col string) bool {
+	for _, c := range s[strings.ToLower(table)] {
+		if c == strings.ToLower(col) {
+			return true
+		}
+	}
+	return false
+}
+
+// ValidateStatement checks every table and column reference in a parsed
+// statement against schema, returning one message per inconsistency. It is
+// purely static — expressions are not evaluated, only resolved — and is the
+// semantic half of "parse-only validation": ParseStatement proves the SQL
+// is well-formed, ValidateStatement proves it still matches the schema.
+func ValidateStatement(st Statement, schema Schema) []string {
+	v := &validator{schema: schema}
+	switch s := st.(type) {
+	case *CreateTableStmt:
+		// Defines a table; nothing to resolve.
+	case *CreateIndexStmt:
+		if v.table(s.Table) {
+			if !schema.hasColumn(s.Table, s.Column) {
+				v.errf("table %q has no column %q", s.Table, s.Column)
+			}
+		}
+	case *DropTableStmt:
+		if !s.IfExists {
+			v.table(s.Name)
+		}
+	case *InsertStmt:
+		v.insert(s)
+	case *DeleteStmt:
+		if v.table(s.Table) {
+			v.pushScope(TableRef{Name: s.Table}, nil)
+			v.expr(s.Where)
+		}
+	case *UpdateStmt:
+		v.update(s)
+	case *SelectStmt:
+		v.selectStmt(s)
+	}
+	sort.Strings(v.issues)
+	return v.issues
+}
+
+type validator struct {
+	schema Schema
+	issues []string
+	// scope maps visible labels (table names or aliases, lower-cased) to
+	// table names; aliases lists select-item aliases valid in expressions.
+	scope   map[string]string
+	aliases map[string]bool
+}
+
+func (v *validator) errf(format string, args ...any) {
+	v.issues = append(v.issues, fmt.Sprintf(format, args...))
+}
+
+// table checks the table exists, reporting otherwise.
+func (v *validator) table(name string) bool {
+	if _, ok := v.schema[strings.ToLower(name)]; ok {
+		return true
+	}
+	v.errf("unknown table %q", name)
+	return false
+}
+
+func (v *validator) pushScope(from TableRef, joins []JoinClause) {
+	v.scope = map[string]string{}
+	add := func(r TableRef) {
+		if v.table(r.Name) {
+			v.scope[strings.ToLower(r.label())] = strings.ToLower(r.Name)
+		}
+	}
+	add(from)
+	for _, j := range joins {
+		add(j.Table)
+	}
+}
+
+func (v *validator) insert(s *InsertStmt) {
+	if !v.table(s.Table) {
+		return
+	}
+	cols := v.schema[strings.ToLower(s.Table)]
+	width := len(cols)
+	if len(s.Columns) > 0 {
+		width = len(s.Columns)
+		for _, c := range s.Columns {
+			if !v.schema.hasColumn(s.Table, c) {
+				v.errf("table %q has no column %q", s.Table, c)
+			}
+		}
+	}
+	for i, row := range s.Rows {
+		if len(row) != width {
+			v.errf("INSERT row %d has %d values, expected %d", i+1, len(row), width)
+		}
+	}
+}
+
+func (v *validator) update(s *UpdateStmt) {
+	if !v.table(s.Table) {
+		return
+	}
+	for _, set := range s.Sets {
+		if !v.schema.hasColumn(s.Table, set.Column) {
+			v.errf("table %q has no column %q", s.Table, set.Column)
+		}
+	}
+	v.pushScope(TableRef{Name: s.Table}, nil)
+	for _, set := range s.Sets {
+		v.expr(set.Value)
+	}
+	v.expr(s.Where)
+}
+
+func (v *validator) selectStmt(s *SelectStmt) {
+	if s.From == nil {
+		// SELECT <exprs> without FROM: only literal/function expressions
+		// make sense; column refs cannot resolve.
+		for _, item := range s.Items {
+			v.expr(item.Expr)
+		}
+		return
+	}
+	v.pushScope(*s.From, s.Joins)
+	v.aliases = map[string]bool{}
+	for _, item := range s.Items {
+		if item.Alias != "" {
+			v.aliases[strings.ToLower(item.Alias)] = true
+		}
+	}
+	for _, item := range s.Items {
+		if item.Star {
+			if item.Table != "" {
+				if _, ok := v.scope[strings.ToLower(item.Table)]; !ok {
+					v.errf("unknown table or alias %q", item.Table)
+				}
+			}
+			continue
+		}
+		v.expr(item.Expr)
+	}
+	for _, j := range s.Joins {
+		v.expr(j.On)
+	}
+	v.expr(s.Where)
+	for _, e := range s.GroupBy {
+		v.expr(e)
+	}
+	v.expr(s.Having)
+	for _, o := range s.OrderBy {
+		v.expr(o.Expr)
+	}
+}
+
+// colRef resolves one column reference against the current scope.
+func (v *validator) colRef(c *ColRef) {
+	if v.scope == nil {
+		v.errf("column %q referenced without a FROM clause", c.Name)
+		return
+	}
+	if c.Table != "" {
+		table, ok := v.scope[strings.ToLower(c.Table)]
+		if !ok {
+			v.errf("unknown table or alias %q", c.Table)
+			return
+		}
+		if !v.schema.hasColumn(table, c.Name) {
+			v.errf("table %q has no column %q", table, c.Name)
+		}
+		return
+	}
+	if v.aliases[strings.ToLower(c.Name)] {
+		return
+	}
+	matches := 0
+	for _, table := range v.scope {
+		if v.schema.hasColumn(table, c.Name) {
+			matches++
+		}
+	}
+	switch {
+	case matches == 0:
+		v.errf("no table in scope has column %q", c.Name)
+	case matches > 1 && len(v.scope) > 1:
+		v.errf("column %q is ambiguous across joined tables", c.Name)
+	}
+}
+
+func (v *validator) expr(e Expr) {
+	switch x := e.(type) {
+	case nil, *Lit:
+	case *ColRef:
+		v.colRef(x)
+	case *Unary:
+		v.expr(x.X)
+	case *Binary:
+		v.expr(x.L)
+		v.expr(x.R)
+	case *InExpr:
+		v.expr(x.X)
+		for _, a := range x.List {
+			v.expr(a)
+		}
+	case *IsNullExpr:
+		v.expr(x.X)
+	case *BetweenExpr:
+		v.expr(x.X)
+		v.expr(x.Lo)
+		v.expr(x.Hi)
+	case *Call:
+		for _, a := range x.Args {
+			v.expr(a)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package reldb
+
+import (
+	"strings"
+	"testing"
+)
+
+func testSchema() Schema {
+	return Schema{
+		"asn_loc":  {"asn", "metro", "country", "as_of_date"},
+		"asn_name": {"asn", "asn_name", "as_of_date"},
+	}
+}
+
+// validate parses then validates, failing the test on parse errors.
+func validate(t *testing.T, sql string) []string {
+	t.Helper()
+	st, err := ParseStatement(sql)
+	if err != nil {
+		t.Fatalf("parse %q: %v", sql, err)
+	}
+	return ValidateStatement(st, testSchema())
+}
+
+func TestValidateStatementClean(t *testing.T) {
+	for _, sql := range []string{
+		`SELECT asn, metro FROM asn_loc WHERE country = 'US'`,
+		`SELECT l.metro, n.asn_name FROM asn_loc l JOIN asn_name n ON n.asn = l.asn`,
+		`SELECT COUNT(*) AS c, metro FROM asn_loc GROUP BY metro HAVING c > 1 ORDER BY c DESC`,
+		`SELECT * FROM asn_loc LIMIT 5`,
+		`SELECT l.* FROM asn_loc l`,
+		`INSERT INTO asn_name (asn, asn_name) VALUES (1, 'one')`,
+		`INSERT INTO asn_name VALUES (1, 'one', '2022-01-01')`,
+		`UPDATE asn_loc SET metro = 'x' WHERE asn = 5`,
+		`DELETE FROM asn_loc WHERE country = 'US'`,
+		`DROP TABLE IF EXISTS scratch`,
+		`CREATE TABLE scratch (a INTEGER)`,
+		`CREATE INDEX ON asn_loc (asn)`,
+		`SELECT 1 + 2`,
+	} {
+		if issues := validate(t, sql); len(issues) != 0 {
+			t.Errorf("%q: unexpected issues %v", sql, issues)
+		}
+	}
+}
+
+func TestValidateStatementCatchesDrift(t *testing.T) {
+	cases := []struct {
+		sql  string
+		want string // substring of one reported issue
+	}{
+		{`SELECT asn FROM asn_locs`, `unknown table "asn_locs"`},
+		{`SELECT asnn FROM asn_loc`, `no table in scope has column "asnn"`},
+		{`SELECT l.metroo FROM asn_loc l`, `table "asn_loc" has no column "metroo"`},
+		{`SELECT x.asn FROM asn_loc l`, `unknown table or alias "x"`},
+		{`SELECT asn FROM asn_loc l JOIN asn_name n ON n.asn = l.asn`, `ambiguous`},
+		{`SELECT z.* FROM asn_loc l`, `unknown table or alias "z"`},
+		{`INSERT INTO asn_name (asn, nam) VALUES (1, 'x')`, `has no column "nam"`},
+		{`INSERT INTO asn_name VALUES (1)`, `has 1 values, expected 3`},
+		{`UPDATE asn_loc SET metroo = 'x'`, `has no column "metroo"`},
+		{`DELETE FROM nope`, `unknown table "nope"`},
+		{`DROP TABLE nope`, `unknown table "nope"`},
+		{`CREATE INDEX ON asn_loc (nope)`, `has no column "nope"`},
+		{`SELECT metro`, `referenced without a FROM clause`},
+	}
+	for _, c := range cases {
+		issues := validate(t, c.sql)
+		found := false
+		for _, msg := range issues {
+			if strings.Contains(msg, c.want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%q: want issue containing %q, got %v", c.sql, c.want, issues)
+		}
+	}
+}
+
+func TestSchemaCloneIsDeep(t *testing.T) {
+	s := testSchema()
+	c := s.Clone()
+	c["new"] = []string{"a"}
+	c["asn_loc"][0] = "zzz"
+	if _, ok := s["new"]; ok {
+		t.Fatal("Clone shares the map")
+	}
+	if s["asn_loc"][0] != "asn" {
+		t.Fatal("Clone shares column slices")
+	}
+}

@@ -13,8 +13,8 @@ import (
 type lruCache[V any] struct {
 	mu      sync.Mutex
 	max     int
-	entries map[string]*list.Element
-	order   *list.List // front = most recently used
+	entries map[string]*list.Element // guarded by mu
+	order   *list.List               // guarded by mu; front = most recently used
 }
 
 type lruEntry[V any] struct {

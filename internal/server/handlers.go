@@ -41,6 +41,7 @@ func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
+	//lint:ignore errdrop a failed response write means the client went away; there is no one left to tell
 	_ = enc.Encode(v)
 }
 
@@ -378,7 +379,9 @@ func (s *Server) handlePath(w http.ResponseWriter, r *http.Request) {
 		s.logger.Error("path export failed", obs.F("request_id", RequestID(r)), obs.F("err", err))
 		return
 	}
-	_ = fw.Close()
+	if err := fw.Close(); err != nil {
+		s.logger.Debug("path export close failed", obs.F("request_id", RequestID(r)), obs.F("err", err))
+	}
 }
 
 // handleRebuild serves POST /admin/rebuild: synchronous re-ingest + atomic

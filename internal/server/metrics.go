@@ -31,7 +31,7 @@ type routeStats struct {
 // lock-free atomics; the registry map is fixed at construction.
 type Metrics struct {
 	mu     sync.Mutex
-	routes map[string]*routeStats
+	routes map[string]*routeStats // guarded by mu
 
 	latCounts []atomic.Uint64 // aggregate histogram, one per latencyBuckets entry
 	latCount  atomic.Uint64

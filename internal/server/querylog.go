@@ -22,9 +22,9 @@ type QueryLogEntry struct {
 // block readers for long: add and entries both take one short mutex.
 type queryLog struct {
 	mu   sync.Mutex
-	buf  []QueryLogEntry
-	next int // index the next entry lands on
-	full bool
+	buf  []QueryLogEntry // guarded by mu
+	next int             // guarded by mu; index the next entry lands on
+	full bool            // guarded by mu
 }
 
 func newQueryLog(capacity int) *queryLog {

@@ -1,10 +1,16 @@
 package worldgen
 
 import (
-	"fmt"
 	"os"
 	"time"
+
+	"igdb/internal/obs"
 )
+
+// genLogger carries per-stage generation timing through the structured
+// logging layer (IGDB_LOG_FORMAT/IGDB_LOG_LEVEL apply); it only speaks
+// when IGDB_TRACE_GEN is set.
+var genLogger = obs.FromEnv(os.Stderr)
 
 // stageTimer reports per-stage generation timing when IGDB_TRACE_GEN is set;
 // useful when sizing paper-scale worlds.
@@ -24,6 +30,6 @@ func (s stageTimer) next(name string) stageTimer {
 
 func (s stageTimer) done() {
 	if os.Getenv("IGDB_TRACE_GEN") != "" {
-		fmt.Fprintf(os.Stderr, "worldgen: %-12s %v\n", s.name, time.Since(s.start))
+		genLogger.Info("worldgen stage", obs.F("stage", s.name), obs.F("elapsed", time.Since(s.start)))
 	}
 }

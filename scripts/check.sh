@@ -14,12 +14,19 @@ fi
 
 go vet ./...
 go build ./...
+
+# Project-aware static analysis: SQL/schema consistency, error and logging
+# discipline, metric hygiene, and mutex-guard annotations. Any finding
+# fails the gate (igdblint exits non-zero).
+go run ./cmd/igdblint ./...
+
 go test -race ./...
 
-# Replay the fuzz seed corpora (wkt, reldb SQL, source parsers) and run
+# Replay the fuzz seed corpora (wkt, reldb SQL — including the seeds
+# harvested from the repo's own queries — and source parsers) and run
 # the fault-injection suites (chaos matrix, degraded builds/rebuilds,
 # collect retry) under the race detector.
-go test -run 'Fuzz.*' ./...
+go test -race -run 'Fuzz.*' ./...
 go test -race -run 'TestChaos|TestDegraded|TestStale|TestFailedRebuild|TestCollect|TestStoreConcurrent|TestFaults|TestDrop|TestFlaky' \
     ./internal/chaos/ ./internal/core/ ./internal/ingest/ ./internal/server/ ./cmd/igdb/
 

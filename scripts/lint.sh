@@ -1,0 +1,32 @@
+#!/bin/sh
+# Static-analysis wrapper around cmd/igdblint.
+#
+# Lints the whole module, prints findings in file:line:col form, and always
+# writes the machine-readable JSON report to artifacts/lint.json (an empty
+# array when clean) so CI can archive it. Exits non-zero on findings.
+#
+# Usage:
+#   scripts/lint.sh                 # lint ./...
+#   scripts/lint.sh ./internal/...  # lint specific packages
+set -eu
+
+cd "$(dirname "$0")/.."
+
+mkdir -p artifacts
+
+status=0
+go run ./cmd/igdblint -json "$@" >artifacts/lint.json || status=$?
+if [ "$status" -eq 2 ]; then
+    echo "lint.sh: igdblint failed to load packages" >&2
+    exit 2
+fi
+
+if [ "$status" -ne 0 ]; then
+    # Re-render in human file:line:col form for the terminal; findings are
+    # deterministic, so both runs see the same set.
+    go run ./cmd/igdblint "$@" || true
+    echo "lint.sh: findings written to artifacts/lint.json" >&2
+else
+    echo "lint.sh: clean (artifacts/lint.json)"
+fi
+exit "$status"
