@@ -26,6 +26,11 @@ var frozenFlags = []string{
 	"stale-after", "stale-after", "timeout", "trace",
 }
 
+// frozenLintFlags freezes cmd/igdblint's surface the same way: -bench
+// (benchmark artifact), -json (machine-readable report), -rules (analyzer
+// listing). Scripts and CI depend on these spellings.
+var frozenLintFlags = []string{"bench", "json", "rules"}
+
 // flagMethods maps flag.FlagSet registration methods to the index of their
 // name argument.
 var flagMethods = map[string]int{
@@ -35,8 +40,11 @@ var flagMethods = map[string]int{
 	"Uint64Var": 1, "Float64Var": 1, "DurationVar": 1,
 }
 
-func TestNoNewFlags(t *testing.T) {
-	entries, err := os.ReadDir(".")
+// registeredFlags parses every non-test .go file in dir and collects the
+// names passed to flag.FlagSet registration calls, sorted.
+func registeredFlags(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +55,7 @@ func TestNoNewFlags(t *testing.T) {
 		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
 			continue
 		}
-		f, err := parser.ParseFile(fset, filepath.Join(".", name), nil, 0)
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -77,7 +85,14 @@ func TestNoNewFlags(t *testing.T) {
 		})
 	}
 	sort.Strings(got)
-	if !reflect.DeepEqual(got, frozenFlags) {
+	return got
+}
+
+func TestNoNewFlags(t *testing.T) {
+	if got := registeredFlags(t, "."); !reflect.DeepEqual(got, frozenFlags) {
 		t.Errorf("igdb's flag surface changed.\n got: %q\nwant: %q\nIf the change is intentional, update frozenFlags.", got, frozenFlags)
+	}
+	if got := registeredFlags(t, filepath.Join("..", "igdblint")); !reflect.DeepEqual(got, frozenLintFlags) {
+		t.Errorf("igdblint's flag surface changed.\n got: %q\nwant: %q\nIf the change is intentional, update frozenLintFlags.", got, frozenLintFlags)
 	}
 }

@@ -4,7 +4,9 @@ import (
 	"bufio"
 	"os"
 	"path/filepath"
+	"reflect"
 	"regexp"
+	"sort"
 	"strings"
 	"testing"
 
@@ -14,7 +16,11 @@ import (
 // The golden corpus: one package per analyzer demonstrating caught
 // violations, one package exercising the //lint:ignore directive, and one
 // package that must produce zero findings.
-var goldenDirs = []string{"errdrop", "logdisc", "metrics", "guarded", "sqlbad", "directives", "clean"}
+var goldenDirs = []string{
+	"errdrop", "logdisc", "metrics", "guarded", "sqlbad",
+	"lockorder", "leakcheck", "closecheck",
+	"directives", "clean",
+}
 
 // Expectations are written in the corpus sources as trailing comments:
 //
@@ -101,5 +107,46 @@ func TestGoldenCorpus(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestGoldenDeterministic replays every corpus package twice and requires
+// byte-identical findings in sorted (file, line, col, rule, message)
+// order — the corpus is a regression baseline, so the replay must be
+// deterministic across runs.
+func TestGoldenDeterministic(t *testing.T) {
+	lintDir := func(dir string) []lint.Finding {
+		rel := filepath.Join("testdata", "src", "internal", dir)
+		pkgs, fset, err := lint.Load([]string{"./" + rel})
+		if err != nil {
+			t.Fatalf("loading corpus %s: %v", dir, err)
+		}
+		return lint.NewLinter().Run(pkgs, fset)
+	}
+	for _, dir := range goldenDirs {
+		first := lintDir(dir)
+		second := lintDir(dir)
+		if !reflect.DeepEqual(first, second) {
+			t.Errorf("%s: two lint runs disagree:\nfirst:  %v\nsecond: %v", dir, first, second)
+		}
+		sorted := sort.SliceIsSorted(first, func(i, j int) bool {
+			a, b := first[i], first[j]
+			if a.File != b.File {
+				return a.File < b.File
+			}
+			if a.Line != b.Line {
+				return a.Line < b.Line
+			}
+			if a.Col != b.Col {
+				return a.Col < b.Col
+			}
+			if a.Rule != b.Rule {
+				return a.Rule < b.Rule
+			}
+			return a.Message < b.Message
+		})
+		if !sorted {
+			t.Errorf("%s: findings are not in sorted order: %v", dir, first)
+		}
 	}
 }

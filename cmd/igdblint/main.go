@@ -3,18 +3,25 @@
 // and matches the canonical internal/core schema (sqlcheck), internal
 // packages neither drop errors (errdrop) nor bypass internal/obs
 // (logdiscipline), every Prometheus metric is named and documented
-// correctly (metriclint), and mutex-guard annotations hold (guardedby).
+// correctly (metriclint), mutex-guard annotations hold on every path
+// (guardedby), locks are released on all exits and acquired in a
+// deadlock-free global order (lockorder), goroutines are tied to shutdown
+// paths (leakcheck), closers are closed on every path (closecheck), and
+// every //lint:ignore suppresses something (directive).
 //
 // Usage:
 //
-//	igdblint [-json] [packages...]   lint packages (default ./...)
-//	igdblint -rules                  list analyzers with one-line docs
+//	igdblint [-json] [-bench file] [packages...]   lint packages (default ./...)
+//	igdblint -rules                                list analyzers with one-line docs
 //
 // Findings print as file:line:col: rule: message and make the exit status
-// non-zero (1 = findings, 2 = usage or load failure). A finding is
-// suppressed by the directive `//lint:ignore <rule> <reason>` on the same
-// or the preceding line; directives with unknown rules or missing reasons
-// are themselves findings.
+// non-zero (1 = findings, 2 = usage or load failure). With -json the
+// report is an object {"findings": [...], "analyzers": [...]} where
+// analyzers carries per-analyzer wall time and finding counts; -bench
+// writes the same analyzer stats to a standalone benchmark file. A finding
+// is suppressed by the directive `//lint:ignore <rule> <reason>` on the
+// same or the preceding line; directives with unknown rules, missing
+// reasons, or that suppress nothing are themselves findings.
 package main
 
 import (
@@ -32,11 +39,18 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
+// report is the -json output shape.
+type report struct {
+	Findings  []lint.Finding      `json:"findings"`
+	Analyzers []lint.AnalyzerStat `json:"analyzers"`
+}
+
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("igdblint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
+	jsonOut := fs.Bool("json", false, "emit findings and per-analyzer stats as JSON")
 	rules := fs.Bool("rules", false, "list analyzers and exit")
+	benchFile := fs.String("bench", "", "write per-analyzer wall time and finding counts to this file")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -61,13 +75,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 	findings := linter.Run(pkgs, fset)
 	relativize(findings)
 
+	if *benchFile != "" {
+		if err := writeBench(*benchFile, linter.Stats()); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+	}
+
 	if *jsonOut {
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if findings == nil {
 			findings = []lint.Finding{}
 		}
-		if err := enc.Encode(findings); err != nil {
+		if err := enc.Encode(report{Findings: findings, Analyzers: linter.Stats()}); err != nil {
 			fmt.Fprintln(stderr, err)
 			return 2
 		}
@@ -81,6 +102,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// writeBench records the per-analyzer stats as a standalone benchmark
+// artifact (BENCH_lint.json), the lint-side sibling of BENCH_serve.json.
+func writeBench(path string, stats []lint.AnalyzerStat) error {
+	total := 0.0
+	for _, s := range stats {
+		total += s.WallMs
+	}
+	out := struct {
+		Benchmark string              `json:"benchmark"`
+		TotalMs   float64             `json:"total_ms"`
+		Analyzers []lint.AnalyzerStat `json:"analyzers"`
+	}{Benchmark: "igdblint", TotalMs: total, Analyzers: stats}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // relativize rewrites absolute file paths relative to the working

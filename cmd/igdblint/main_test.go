@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -9,18 +10,23 @@ import (
 	"igdb/internal/lint"
 )
 
-// TestRulesFlag locks the -rules listing: exactly the five analyzers, each
-// with a one-line doc.
+// TestRulesFlag locks the -rules listing: exactly the nine analyzers in
+// registration order, each with a one-line doc. directive must stay last —
+// it reports unused suppressions after every other analyzer has run.
 func TestRulesFlag(t *testing.T) {
 	var out, errb strings.Builder
 	if code := run([]string{"-rules"}, &out, &errb); code != 0 {
 		t.Fatalf("igdblint -rules exited %d, stderr: %s", code, errb.String())
 	}
 	lines := strings.Split(strings.TrimRight(out.String(), "\n"), "\n")
-	if len(lines) != 5 {
-		t.Fatalf("expected 5 analyzer lines, got %d:\n%s", len(lines), out.String())
+	want := []string{
+		"sqlcheck", "errdrop", "logdiscipline", "metriclint",
+		"guardedby", "lockorder", "leakcheck", "closecheck", "directive",
 	}
-	for i, name := range []string{"sqlcheck", "errdrop", "logdiscipline", "metriclint", "guardedby"} {
+	if len(lines) != len(want) {
+		t.Fatalf("expected %d analyzer lines, got %d:\n%s", len(want), len(lines), out.String())
+	}
+	for i, name := range want {
 		fields := strings.Fields(lines[i])
 		if len(fields) < 2 || fields[0] != name {
 			t.Errorf("line %d: want analyzer %q with a doc string, got %q", i, name, lines[i])
@@ -28,33 +34,44 @@ func TestRulesFlag(t *testing.T) {
 	}
 }
 
-// TestJSONCleanPackage: a clean package yields an empty JSON array (not
-// null) and exit status 0.
+// TestJSONCleanPackage: a clean package yields a report object with an
+// empty findings array (not null), stats for every analyzer, and exit
+// status 0.
 func TestJSONCleanPackage(t *testing.T) {
 	var out, errb strings.Builder
 	if code := run([]string{"-json", "./testdata/src/internal/clean"}, &out, &errb); code != 0 {
 		t.Fatalf("exit %d on clean package, stderr: %s", code, errb.String())
 	}
-	if got := strings.TrimSpace(out.String()); got != "[]" {
-		t.Fatalf("want empty JSON array, got %q", got)
+	var rep report
+	if err := json.Unmarshal([]byte(out.String()), &rep); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out.String())
+	}
+	if rep.Findings == nil || len(rep.Findings) != 0 {
+		t.Fatalf("want empty findings array, got %v", rep.Findings)
+	}
+	if len(rep.Analyzers) != 9 {
+		t.Fatalf("want stats for 9 analyzers, got %d: %v", len(rep.Analyzers), rep.Analyzers)
+	}
+	if !strings.Contains(out.String(), `"findings": []`) {
+		t.Errorf("findings must serialize as [], not null:\n%s", out.String())
 	}
 }
 
-// TestJSONFindings: findings come back as parseable JSON with relative
-// paths, and the exit status is 1.
+// TestJSONFindings: findings come back as a parseable report object with
+// relative paths and per-analyzer counts, and the exit status is 1.
 func TestJSONFindings(t *testing.T) {
 	var out, errb strings.Builder
 	if code := run([]string{"-json", "./testdata/src/internal/errdrop"}, &out, &errb); code != 1 {
 		t.Fatalf("want exit 1 on findings, got %d, stderr: %s", code, errb.String())
 	}
-	var findings []lint.Finding
-	if err := json.Unmarshal([]byte(out.String()), &findings); err != nil {
+	var rep report
+	if err := json.Unmarshal([]byte(out.String()), &rep); err != nil {
 		t.Fatalf("output is not JSON: %v\n%s", err, out.String())
 	}
-	if len(findings) != 3 {
-		t.Fatalf("want 3 errdrop findings, got %d: %v", len(findings), findings)
+	if len(rep.Findings) != 3 {
+		t.Fatalf("want 3 errdrop findings, got %d: %v", len(rep.Findings), rep.Findings)
 	}
-	for _, f := range findings {
+	for _, f := range rep.Findings {
 		if f.Rule != "errdrop" {
 			t.Errorf("unexpected rule %q in %v", f.Rule, f)
 		}
@@ -62,8 +79,51 @@ func TestJSONFindings(t *testing.T) {
 			t.Errorf("finding path not relativized: %s", f.File)
 		}
 	}
+	counted := false
+	for _, s := range rep.Analyzers {
+		if s.Name == "errdrop" {
+			counted = true
+			if s.Findings != 3 {
+				t.Errorf("errdrop stat counts %d findings, want 3", s.Findings)
+			}
+		}
+	}
+	if !counted {
+		t.Errorf("no errdrop entry in analyzer stats: %v", rep.Analyzers)
+	}
 	if !strings.Contains(errb.String(), "3 finding(s)") {
 		t.Errorf("stderr missing findings count: %q", errb.String())
+	}
+}
+
+// TestBenchFlag: -bench writes a standalone benchmark artifact with a
+// total and one timed entry per analyzer.
+func TestBenchFlag(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_lint.json")
+	var out, errb strings.Builder
+	if code := run([]string{"-bench", path, "./testdata/src/internal/clean"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("bench file not written: %v", err)
+	}
+	var bench struct {
+		Benchmark string              `json:"benchmark"`
+		TotalMs   float64             `json:"total_ms"`
+		Analyzers []lint.AnalyzerStat `json:"analyzers"`
+	}
+	if err := json.Unmarshal(data, &bench); err != nil {
+		t.Fatalf("bench file is not JSON: %v\n%s", err, data)
+	}
+	if bench.Benchmark != "igdblint" {
+		t.Errorf("benchmark name = %q, want igdblint", bench.Benchmark)
+	}
+	if len(bench.Analyzers) != 9 {
+		t.Errorf("want 9 analyzer entries, got %d", len(bench.Analyzers))
+	}
+	if bench.TotalMs < 0 {
+		t.Errorf("negative total_ms %v", bench.TotalMs)
 	}
 }
 

@@ -1,0 +1,83 @@
+// Package closecheck is igdblint golden-corpus input: resource lifetimes.
+// A reldb prepared statement (or any Close() error value) must be closed
+// on every normal return path; the error-guard return right after creation
+// is exempt (the value was never valid), and handing the value off —
+// returning it, storing it, passing it on — transfers ownership.
+package closecheck
+
+import (
+	"os"
+
+	"igdb/internal/reldb"
+)
+
+// countLong closes the statement on the main path and on the query-error
+// path, but leaks it on the early limit check. Only that return fires.
+func countLong(db *reldb.DB, limit int) (int, error) {
+	stmt, err := db.Prepare("SELECT from_metro FROM std_paths WHERE distance_km > 1000")
+	if err != nil {
+		return 0, err // clean: stmt was never valid on this path
+	}
+	if limit <= 0 {
+		return 0, nil // want `closecheck: stmt (created at closecheck.go:17) may not be closed before this return`
+	}
+	rows, err := stmt.Query()
+	if err != nil {
+		if cerr := stmt.Close(); cerr != nil {
+			return 0, cerr
+		}
+		return 0, err
+	}
+	if cerr := stmt.Close(); cerr != nil {
+		return 0, cerr
+	}
+	n := rows.Len()
+	if n > limit {
+		n = limit
+	}
+	return n, nil
+}
+
+// deferred is the idiomatic clean shape.
+func deferred(db *reldb.DB) (int, error) {
+	stmt, err := db.Prepare("SELECT to_metro FROM std_paths")
+	if err != nil {
+		return 0, err
+	}
+	defer stmt.Close()
+	rows, err := stmt.Query()
+	if err != nil {
+		return 0, err
+	}
+	return rows.Len(), nil
+}
+
+// handoff transfers ownership to the caller: returning the value is not a
+// leak.
+func handoff(path string) (*os.File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// fileLeak forgets the open file on the Stat-error return: err has been
+// reassigned, so that branch says nothing about whether Open succeeded.
+func fileLeak(path string) (*os.File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	info, err := f.Stat()
+	if err != nil {
+		return nil, err // want `closecheck: f (created at closecheck.go:68) may not be closed before this return`
+	}
+	if info.Size() == 0 {
+		if cerr := f.Close(); cerr != nil {
+			return nil, cerr
+		}
+		return nil, os.ErrNotExist
+	}
+	return f, nil
+}

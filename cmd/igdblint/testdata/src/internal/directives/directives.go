@@ -23,3 +23,11 @@ func badDirectives() {
 	//lint:ignore
 	os.Remove("scratch") // want `errdrop: call discards its error result`
 }
+
+func unusedSuppression() {
+	// A well-formed directive that suppresses nothing is dead weight: it
+	// hides the next real finding on its line.
+	// want-next `directive: //lint:ignore errdrop suppresses no finding; delete it`
+	//lint:ignore errdrop nothing on this line drops an error
+	_ = os.Getenv("HOME")
+}

@@ -1,0 +1,94 @@
+// Package leakcheck is igdblint golden-corpus input: goroutine lifetime
+// discipline. Goroutines tied to a context, a WaitGroup, or a stop channel
+// pass; loops with no shutdown path and one-shots blocked on unbuffered
+// sends are findings.
+package leakcheck
+
+import (
+	"context"
+	"sync"
+)
+
+func compute() int { return 42 }
+
+// leaks spins forever with nothing to stop it.
+func leaks() {
+	go func() { // want `leakcheck: goroutine loops without a shutdown path`
+		for {
+			_ = compute()
+		}
+	}()
+}
+
+// ctxTied observes cancellation.
+func ctxTied(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+				_ = compute()
+			}
+		}
+	}()
+}
+
+// wgTied is bounded by the spawner's Wait.
+func wgTied(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			_ = compute()
+		}
+	}()
+}
+
+// chanTied stops when the spawner closes stop.
+func chanTied(stop chan struct{}) {
+	go func() {
+		for range stop {
+		}
+	}()
+}
+
+// unbufferedSend is the classic one-shot leak: no receiver ever comes, the
+// send blocks forever.
+func unbufferedSend() {
+	res := make(chan int)
+	go func() {
+		res <- compute() // want `leakcheck: goroutine may block forever sending to res`
+	}()
+}
+
+// bufferedOneShot completes on its own even if the caller never reads.
+func bufferedOneShot() <-chan int {
+	res := make(chan int, 1)
+	go func() {
+		res <- compute()
+	}()
+	return res
+}
+
+// fireAndForget hands a bare call to go with no tie at all.
+func fireAndForget() {
+	go compute() // want `leakcheck: goroutine is not tied to a shutdown path`
+}
+
+// ctxCall passes a context into the spawned function.
+func ctxCall(ctx context.Context) {
+	go watch(ctx)
+}
+
+func watch(ctx context.Context) { <-ctx.Done() }
+
+// daemon documents an intentional process-lifetime goroutine.
+func daemon() {
+	//lint:ignore leakcheck metrics flusher runs for the process lifetime by design
+	go func() {
+		for {
+			_ = compute()
+		}
+	}()
+}

@@ -102,8 +102,8 @@ type Store struct {
 	seed int64
 
 	mu            sync.Mutex
-	faults        map[string][]Fault
-	transientLeft map[string]int
+	faults        map[string][]Fault // guarded by mu
+	transientLeft map[string]int     // guarded by mu
 }
 
 var _ ingest.Reloader = (*Store)(nil)

@@ -1,0 +1,445 @@
+package lint
+
+// closecheck.go tracks resource lifetimes on the CFG: a local variable
+// assigned from a call returning a value whose type has Close() error —
+// files, reldb prepared statements, HTTP bodies — must reach Close (or
+// defer Close) on every path that returns normally. The analysis is a
+// may-open forward dataflow: Close kills the resource, escaping it (return,
+// argument, store, send, closure capture) transfers ownership and stops
+// tracking, and the error-guard branch after `v, err := open(...)` kills it
+// on the failure edge where v was never valid. Findings anchor at the
+// return statement that leaks, naming the creation site — so a resource
+// closed on the main path but leaked on one early return is reported on
+// that return only.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// openRes is one tracked resource: where it was created and the error
+// variable paired with it (nil for single-result constructors).
+type openRes struct {
+	pos    token.Pos
+	name   string
+	errObj types.Object
+}
+
+// closeFact maps still-open resource objects. May-analysis: join = union.
+type closeFact map[types.Object]openRes
+
+func (f closeFact) clone() closeFact {
+	out := make(closeFact, len(f))
+	for k, v := range f {
+		out[k] = v
+	}
+	return out
+}
+
+func newCloseCheck() *Analyzer {
+	a := &Analyzer{
+		Name: "closecheck",
+		Doc:  "values with a Close() error method must be closed (or escape) on every return path",
+	}
+	a.Run = func(pass *Pass) {
+		for _, f := range pass.Files {
+			for _, body := range funcBodies(f) {
+				checkCloses(pass, body)
+			}
+		}
+	}
+	return a
+}
+
+func checkCloses(pass *Pass, body *ast.BlockStmt) {
+	// Objects captured by nested function literals leave our intraprocedural
+	// world: never track them.
+	captured := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		lit, ok := n.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		ast.Inspect(lit.Body, func(m ast.Node) bool {
+			if id, ok := m.(*ast.Ident); ok {
+				if obj := pass.Info.Uses[id]; obj != nil {
+					captured[obj] = true
+				}
+			}
+			return true
+		})
+		return false
+	})
+
+	cfg := BuildCFG(body)
+	transfer := func(b *Block, in closeFact) closeFact {
+		fact := in
+		for _, n := range b.Nodes {
+			fact = closeTransferNode(pass, n, fact, captured)
+		}
+		return fact
+	}
+	in := Solve(cfg, FlowProblem[closeFact]{
+		Entry:    closeFact{},
+		Join:     joinCloseFacts,
+		Equal:    equalCloseFacts,
+		Transfer: func(b *Block, f closeFact) closeFact { return transfer(b, f) },
+		Edge:     func(from *Block, i int, out closeFact) closeFact { return closeEdgeRefine(pass, from, i, out) },
+	})
+
+	// Report at each return that flows an open resource into Exit.
+	for _, blk := range cfg.Blocks {
+		fact, reachable := in[blk]
+		if !reachable || blk == cfg.Exit || blk.Panic {
+			continue
+		}
+		exitIdx := -1
+		for i, s := range blk.Succs {
+			if s == cfg.Exit {
+				exitIdx = i
+			}
+		}
+		if exitIdx < 0 {
+			continue
+		}
+		out := transfer(blk, fact)
+		out = closeEdgeRefine(pass, blk, exitIdx, out)
+		if len(out) == 0 {
+			continue
+		}
+		retPos := body.End()
+		if len(blk.Nodes) > 0 {
+			retPos = blk.Nodes[len(blk.Nodes)-1].Pos()
+		}
+		for _, obj := range sortedResObjs(out) {
+			res := out[obj]
+			pass.Reportf(retPos, "%s (created at %s) may not be closed before this return", res.name, posStr(pass.Fset, res.pos))
+		}
+	}
+}
+
+// closeTransferNode pushes the fact through one statement.
+func closeTransferNode(pass *Pass, n ast.Node, in closeFact, captured map[types.Object]bool) closeFact {
+	fact := in
+	mutated := false
+	mutable := func() closeFact {
+		if !mutated {
+			fact = fact.clone()
+			mutated = true
+		}
+		return fact
+	}
+
+	if as, ok := n.(*ast.AssignStmt); ok {
+		// Reassigning a resource's paired error variable invalidates the
+		// pairing: after `info, err := f.Stat()`, a branch on err says
+		// nothing about whether f was opened successfully.
+		for _, lhs := range as.Lhs {
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := pass.Info.Defs[id]
+			if obj == nil {
+				obj = pass.Info.Uses[id]
+			}
+			if obj == nil {
+				continue
+			}
+			for resObj, res := range fact {
+				if res.errObj != nil && res.errObj == obj {
+					m := mutable()
+					res.errObj = nil
+					m[resObj] = res
+				}
+			}
+		}
+		// Creation: v, err := open(...) / v := open(...).
+		if len(as.Rhs) == 1 {
+			if call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr); ok {
+				if obj, res, ok := closerCreation(pass, as, call); ok && !captured[obj] {
+					// Escapes on the RHS (the call's args) still kill first.
+					fact = killEscapes(pass, n, fact, &mutated)
+					m := mutable()
+					m[obj] = res
+					return fact
+				}
+			}
+		}
+	}
+
+	// Close: obj.Close() directly or under defer.
+	closed := closedObjs(pass, n)
+	for _, obj := range closed {
+		if _, ok := fact[obj]; ok {
+			m := mutable()
+			delete(m, obj)
+		}
+	}
+
+	return killEscapes(pass, n, fact, &mutated)
+}
+
+// closerCreation matches an assignment whose call produces a closer: the
+// callee returns (T) or (T, error) where T has Close() error, and the
+// result lands in a plain local identifier.
+func closerCreation(pass *Pass, as *ast.AssignStmt, call *ast.CallExpr) (types.Object, openRes, bool) {
+	id, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil, openRes{}, false
+	}
+	obj := pass.Info.Defs[id]
+	if obj == nil {
+		obj = pass.Info.Uses[id]
+	}
+	if obj == nil || !hasCloseMethod(obj.Type()) {
+		return nil, openRes{}, false
+	}
+	tv, ok := pass.Info.Types[call]
+	if !ok {
+		return nil, openRes{}, false
+	}
+	var errObj types.Object
+	switch rt := tv.Type.(type) {
+	case *types.Tuple:
+		if rt.Len() != 2 || !isErrorType(rt.At(1).Type()) || len(as.Lhs) != 2 {
+			return nil, openRes{}, false
+		}
+		if eid, ok := ast.Unparen(as.Lhs[1]).(*ast.Ident); ok && eid.Name != "_" {
+			if e := pass.Info.Defs[eid]; e != nil {
+				errObj = e
+			} else {
+				errObj = pass.Info.Uses[eid]
+			}
+		}
+	default:
+		if len(as.Lhs) != 1 {
+			return nil, openRes{}, false
+		}
+	}
+	return obj, openRes{pos: as.Pos(), name: id.Name, errObj: errObj}, true
+}
+
+// hasCloseMethod reports whether t (or *t) has a Close() error method.
+func hasCloseMethod(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	obj, _, _ := types.LookupFieldOrMethod(t, true, nil, "Close")
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	sig := fn.Type().(*types.Signature)
+	return sig.Params().Len() == 0 && sig.Results().Len() == 1 && isErrorType(sig.Results().At(0).Type())
+}
+
+// closedObjs returns resources this statement closes: obj.Close() as an
+// expression or deferred (including inside a deferred closure).
+func closedObjs(pass *Pass, n ast.Node) []types.Object {
+	var objs []types.Object
+	collect := func(root ast.Node, intoLits bool) {
+		ast.Inspect(root, func(x ast.Node) bool {
+			if _, ok := x.(*ast.FuncLit); ok && !intoLits {
+				return false
+			}
+			call, ok := x.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Close" || len(call.Args) != 0 {
+				return true
+			}
+			if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+				if obj := pass.Info.Uses[id]; obj != nil {
+					objs = append(objs, obj)
+				}
+			}
+			return true
+		})
+	}
+	if d, ok := n.(*ast.DeferStmt); ok {
+		collect(d, true)
+		return objs
+	}
+	for _, sub := range ownExprs(n) {
+		collect(sub, false)
+	}
+	return objs
+}
+
+// killEscapes drops resources whose identifier escapes in this statement:
+// returned, passed as an argument, stored anywhere, sent, or aliased.
+// A use as the receiver of a method call (stmt.Query(...)) is not an
+// escape; neither is the Close call itself.
+func killEscapes(pass *Pass, n ast.Node, fact closeFact, mutated *bool) closeFact {
+	if len(fact) == 0 {
+		return fact
+	}
+	escaped := map[types.Object]bool{}
+	mark := func(e ast.Expr) {
+		if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+			if obj := pass.Info.Uses[id]; obj != nil {
+				escaped[obj] = true
+			}
+		}
+	}
+	inspect := func(root ast.Node) {
+		ast.Inspect(root, func(x ast.Node) bool {
+			switch s := x.(type) {
+			case *ast.ReturnStmt:
+				for _, r := range s.Results {
+					mark(r)
+				}
+			case *ast.CallExpr:
+				// Receiver uses are fine; arguments escape.
+				for _, arg := range s.Args {
+					mark(arg)
+				}
+			case *ast.CompositeLit:
+				for _, el := range s.Elts {
+					if kv, ok := el.(*ast.KeyValueExpr); ok {
+						mark(kv.Value)
+					} else {
+						mark(el)
+					}
+				}
+			case *ast.SendStmt:
+				mark(s.Value)
+			case *ast.UnaryExpr:
+				if s.Op == token.AND {
+					mark(s.X)
+				}
+			case *ast.AssignStmt:
+				for _, r := range s.Rhs {
+					// Skip the creation call itself; alias assignments escape.
+					if _, isCall := ast.Unparen(r).(*ast.CallExpr); !isCall {
+						mark(r)
+					}
+				}
+			}
+			return true
+		})
+	}
+	for _, sub := range ownExprs(n) {
+		inspect(sub)
+	}
+	if len(escaped) == 0 {
+		return fact
+	}
+	out := fact
+	for obj := range escaped {
+		if _, ok := out[obj]; ok {
+			if !*mutated {
+				out = out.clone()
+				*mutated = true
+			}
+			delete(out, obj)
+		}
+	}
+	return out
+}
+
+// closeEdgeRefine kills a resource on the branch where its paired error is
+// known non-nil — `v, err := open(...); if err != nil { return err }` does
+// not leak v, which was never valid. Panic edges flow nothing.
+func closeEdgeRefine(pass *Pass, from *Block, succIdx int, out closeFact) closeFact {
+	if from.Panic {
+		return closeFact{}
+	}
+	if from.Cond == nil || len(out) == 0 {
+		return out
+	}
+	errObj, nonNilOnTrue, ok := errNilCheck(pass, from.Cond)
+	if !ok {
+		return out
+	}
+	deadEdge := 0 // err != nil: resource dead on the true edge
+	if !nonNilOnTrue {
+		deadEdge = 1 // err == nil: dead on the false edge
+	}
+	if succIdx != deadEdge {
+		return out
+	}
+	var next closeFact
+	for obj, res := range out {
+		if res.errObj == errObj && errObj != nil {
+			if next == nil {
+				next = out.clone()
+			}
+			delete(next, obj)
+		}
+	}
+	if next == nil {
+		return out
+	}
+	return next
+}
+
+// errNilCheck matches `err != nil` / `err == nil` over a plain identifier,
+// returning the error object and whether the error is non-nil on the true
+// branch.
+func errNilCheck(pass *Pass, cond ast.Expr) (types.Object, bool, bool) {
+	bin, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || (bin.Op != token.NEQ && bin.Op != token.EQL) {
+		return nil, false, false
+	}
+	var idExpr ast.Expr
+	switch {
+	case isNilIdent(bin.Y):
+		idExpr = bin.X
+	case isNilIdent(bin.X):
+		idExpr = bin.Y
+	default:
+		return nil, false, false
+	}
+	id, ok := ast.Unparen(idExpr).(*ast.Ident)
+	if !ok {
+		return nil, false, false
+	}
+	obj := pass.Info.Uses[id]
+	if obj == nil || !isErrorType(obj.Type()) {
+		return nil, false, false
+	}
+	return obj, bin.Op == token.NEQ, true
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+func joinCloseFacts(a, b closeFact) closeFact {
+	out := a.clone()
+	for k, v := range b {
+		if _, ok := out[k]; !ok {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+func equalCloseFacts(a, b closeFact) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, av := range a {
+		bv, ok := b[k]
+		if !ok || av != bv {
+			return false
+		}
+	}
+	return true
+}
+
+func sortedResObjs(f closeFact) []types.Object {
+	objs := make([]types.Object, 0, len(f))
+	for o := range f {
+		objs = append(objs, o)
+	}
+	sort.Slice(objs, func(i, j int) bool { return objs[i].Pos() < objs[j].Pos() })
+	return objs
+}

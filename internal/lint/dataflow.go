@@ -1,0 +1,71 @@
+package lint
+
+// dataflow.go is a generic forward dataflow engine over the CFGs built by
+// cfg.go: a classic worklist solver parameterized by a join-semilattice of
+// facts. An analyzer supplies the entry fact, a join, an equality test,
+// and a monotone per-block transfer function; the solver iterates to the
+// least fixed point.
+//
+// Termination: facts must form a lattice of finite height (every fact
+// domain used here is a finite map over the locks/resources that occur in
+// one function body) and Transfer/Edge must be monotone with respect to
+// Join. Each block's IN fact then ascends a finite chain, the worklist
+// re-enqueues a block only when its IN strictly grows, and the solve
+// terminates after O(blocks × lattice height) transfer evaluations.
+
+// FlowProblem describes one forward dataflow analysis.
+//
+// All callbacks must treat facts as immutable: Transfer and Edge return
+// fresh values (or the input unchanged) and never mutate their argument,
+// because the solver aliases facts across blocks.
+type FlowProblem[F any] struct {
+	// Entry is the fact at function entry.
+	Entry F
+	// Join combines facts at control-flow merges. It must be commutative,
+	// associative, and idempotent.
+	Join func(a, b F) F
+	// Equal reports whether two facts are identical; the solver uses it to
+	// detect the fixed point.
+	Equal func(a, b F) bool
+	// Transfer pushes a fact through one whole block.
+	Transfer func(b *Block, in F) F
+	// Edge, when non-nil, refines the fact flowing along one specific
+	// successor edge — this is where path-sensitivity on branch conditions
+	// lives (b.Cond with Succs[0]=true/Succs[1]=false for two-way blocks).
+	Edge func(from *Block, succIdx int, out F) F
+}
+
+// Solve runs the worklist algorithm and returns the IN fact of every block
+// reachable from Entry. Unreachable blocks are absent from the map —
+// reporting passes skip them rather than diagnosing dead code.
+func Solve[F any](c *CFG, p FlowProblem[F]) map[*Block]F {
+	in := map[*Block]F{c.Entry: p.Entry}
+	queued := map[*Block]bool{c.Entry: true}
+	work := []*Block{c.Entry}
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		queued[blk] = false
+		out := p.Transfer(blk, in[blk])
+		for i, succ := range blk.Succs {
+			f := out
+			if p.Edge != nil {
+				f = p.Edge(blk, i, out)
+			}
+			old, seen := in[succ]
+			next := f
+			if seen {
+				next = p.Join(old, f)
+			}
+			if seen && p.Equal(old, next) {
+				continue
+			}
+			in[succ] = next
+			if !queued[succ] {
+				queued[succ] = true
+				work = append(work, succ)
+			}
+		}
+	}
+	return in
+}

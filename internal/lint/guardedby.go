@@ -1,7 +1,18 @@
 package lint
 
+// guardedby.go enforces `// guarded by mu` field annotations
+// path-sensitively: a guarded field access is legal only when the
+// annotated mutex is held *at that program point*, not merely somewhere in
+// the method. The analyzer solves a must-held forward dataflow problem per
+// method: each receiver mutex carries a mode (unlocked < RLocked < Locked),
+// joins at merges take the weakest mode, Unlock before a path's access is
+// a finding, and a TryLock branch holds the lock only on its success edge.
+// Writes additionally require the exclusive Lock. Helpers that run with
+// the lock already held document that with //lint:ignore guardedby.
+
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"regexp"
 )
@@ -17,16 +28,29 @@ type guardSpec struct {
 	mu    string
 }
 
-// newGuardedBy builds the guardedby analyzer: a struct field annotated
-// `// guarded by mu` may only be read or written inside methods of that
-// type which lock the same receiver's mu (mu.Lock or mu.RLock; writes
-// require the exclusive Lock). The check is flow-insensitive and scoped to
-// methods — helpers that run with the lock already held document that with
-// //lint:ignore guardedby <reason>.
+// Lock modes form the 3-point must-lattice; join takes the minimum.
+const (
+	muUnlocked = 0
+	muRLocked  = 1
+	muLocked   = 2
+)
+
+// guardFact maps receiver-mutex name -> held mode. Only mutexes held above
+// muUnlocked appear; absence means unlocked. Immutable after creation.
+type guardFact map[string]int
+
+func (f guardFact) clone() guardFact {
+	out := make(guardFact, len(f))
+	for k, v := range f {
+		out[k] = v
+	}
+	return out
+}
+
 func newGuardedBy() *Analyzer {
 	a := &Analyzer{
 		Name: "guardedby",
-		Doc:  "fields annotated '// guarded by mu' may only be accessed in methods that lock mu on the same receiver",
+		Doc:  "fields annotated '// guarded by mu' may only be accessed where mu is held on that path (writes need the exclusive Lock)",
 	}
 	a.Run = func(pass *Pass) {
 		// Pass 1: collect annotations, keyed by the struct's type name object.
@@ -103,17 +127,9 @@ func annotationMutex(field *ast.Field) string {
 	return ""
 }
 
-// auditMethod checks one method's accesses to guarded fields against the
-// locks it takes on its receiver.
+// auditMethod solves the must-held problem over the method's CFG and
+// checks every guarded access against the mode at its program point.
 func auditMethod(pass *Pass, fn *ast.FuncDecl, recvObj types.Object, specs []guardSpec) {
-	type access struct {
-		pos   ast.Node
-		spec  guardSpec
-		write bool
-	}
-	var accesses []access
-	locked := map[string]string{} // mutex name -> "Lock" | "RLock" (strongest seen)
-
 	// recvSelector returns the field name if e is recv.<field>, else "".
 	recvSelector := func(e ast.Expr) string {
 		sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
@@ -127,14 +143,123 @@ func auditMethod(pass *Pass, fn *ast.FuncDecl, recvObj types.Object, specs []gua
 		return sel.Sel.Name
 	}
 
+	// muOps lists this node's receiver-mutex transitions in source order;
+	// deferred releases keep the lock held to the end of the method.
+	type muOp struct {
+		mu   string
+		mode int // mode after the op; -1 means release
+	}
+	nodeOps := func(n ast.Node) []muOp {
+		var ops []muOp
+		if _, isDefer := n.(*ast.DeferStmt); isDefer {
+			return nil
+		}
+		for _, sub := range ownExprs(n) {
+			ast.Inspect(sub, func(x ast.Node) bool {
+				if _, ok := x.(*ast.FuncLit); ok {
+					return false
+				}
+				call, ok := x.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				mu := recvSelector(sel.X)
+				if mu == "" {
+					return true
+				}
+				switch sel.Sel.Name {
+				case "Lock":
+					ops = append(ops, muOp{mu, muLocked})
+				case "RLock":
+					ops = append(ops, muOp{mu, muRLocked})
+				case "Unlock", "RUnlock":
+					ops = append(ops, muOp{mu, -1})
+				}
+				return true
+			})
+		}
+		return ops
+	}
+
+	transferNode := func(fact guardFact, n ast.Node) guardFact {
+		ops := nodeOps(n)
+		if len(ops) == 0 {
+			return fact
+		}
+		out := fact.clone()
+		for _, op := range ops {
+			if op.mode < 0 {
+				delete(out, op.mu)
+			} else {
+				out[op.mu] = op.mode
+			}
+		}
+		return out
+	}
+
+	cfg := BuildCFG(fn.Body)
+	in := Solve(cfg, FlowProblem[guardFact]{
+		Entry: guardFact{},
+		Join: func(a, b guardFact) guardFact {
+			out := guardFact{}
+			for k, av := range a {
+				if bv, ok := b[k]; ok {
+					if bv < av {
+						av = bv
+					}
+					out[k] = av
+				}
+			}
+			return out
+		},
+		Equal: func(a, b guardFact) bool {
+			if len(a) != len(b) {
+				return false
+			}
+			for k, av := range a {
+				if bv, ok := b[k]; !ok || av != bv {
+					return false
+				}
+			}
+			return true
+		},
+		Transfer: func(b *Block, f guardFact) guardFact {
+			for _, n := range b.Nodes {
+				f = transferNode(f, n)
+			}
+			return f
+		},
+		Edge: func(from *Block, succIdx int, out guardFact) guardFact {
+			// recv.mu.TryLock() holds the lock only on the success edge.
+			mu, mode, negated, ok := recvTryLockCond(pass, recvObj, from.Cond)
+			if !ok {
+				return out
+			}
+			acquire := 0
+			if negated {
+				acquire = 1
+			}
+			if succIdx != acquire {
+				return out
+			}
+			next := out.clone()
+			next[mu] = mode
+			return next
+		},
+	})
+
+	// Collect write targets once (same marking as assignments/inc-dec, with
+	// element writes counting against the container).
 	writes := map[ast.Expr]bool{}
 	ast.Inspect(fn.Body, func(n ast.Node) bool {
 		switch x := n.(type) {
 		case *ast.AssignStmt:
 			for _, lhs := range x.Lhs {
 				writes[lhs] = true
-				// Writing an element of a guarded map/slice mutates the
-				// guarded field too: mark the indexed expression.
 				if idx, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
 					writes[idx.X] = true
 				}
@@ -144,48 +269,85 @@ func auditMethod(pass *Pass, fn *ast.FuncDecl, recvObj types.Object, specs []gua
 			if idx, ok := ast.Unparen(x.X).(*ast.IndexExpr); ok {
 				writes[idx.X] = true
 			}
-		case *ast.CallExpr:
-			// recv.mu.Lock() / recv.mu.RLock() — a two-level selector.
-			if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok {
-				method := sel.Sel.Name
-				if method == "Lock" || method == "RLock" {
-					if mu := recvSelector(sel.X); mu != "" {
-						if method == "Lock" || locked[mu] == "" {
-							locked[mu] = method
-						}
+		}
+		return true
+	})
+
+	// Replay each reachable block once, checking accesses at their exact
+	// point between lock transitions.
+	checkNode := func(fact guardFact, n ast.Node) {
+		for _, sub := range ownExprs(n) {
+			ast.Inspect(sub, func(x ast.Node) bool {
+				e, ok := x.(ast.Expr)
+				if !ok {
+					return true
+				}
+				field := recvSelector(e)
+				if field == "" {
+					return true
+				}
+				for _, spec := range specs {
+					if spec.field != field {
+						continue
+					}
+					mode := fact[spec.mu]
+					switch {
+					case mode == muUnlocked:
+						pass.Reportf(e.Pos(), "%s.%s is guarded by %s but this path does not hold it",
+							recvObj.Name(), spec.field, spec.mu)
+					case writes[e] && mode == muRLocked:
+						pass.Reportf(e.Pos(), "%s.%s is written under %s.RLock; writes need the exclusive Lock",
+							recvObj.Name(), spec.field, spec.mu)
 					}
 				}
-			}
-		}
-		return true
-	})
-
-	ast.Inspect(fn.Body, func(n ast.Node) bool {
-		e, ok := n.(ast.Expr)
-		if !ok {
-			return true
-		}
-		field := recvSelector(e)
-		if field == "" {
-			return true
-		}
-		for _, spec := range specs {
-			if spec.field == field {
-				accesses = append(accesses, access{pos: e, spec: spec, write: writes[e]})
-			}
-		}
-		return true
-	})
-
-	for _, acc := range accesses {
-		held := locked[acc.spec.mu]
-		switch {
-		case held == "":
-			pass.Reportf(acc.pos.Pos(), "%s.%s is guarded by %s but %s does not lock it",
-				recvObj.Name(), acc.spec.field, acc.spec.mu, fn.Name.Name)
-		case acc.write && held == "RLock":
-			pass.Reportf(acc.pos.Pos(), "%s.%s is written under %s.RLock; writes need the exclusive Lock",
-				recvObj.Name(), acc.spec.field, acc.spec.mu)
+				return true
+			})
 		}
 	}
+	for _, blk := range cfg.Blocks {
+		fact, reachable := in[blk]
+		if !reachable || blk == cfg.Exit {
+			continue
+		}
+		for _, n := range blk.Nodes {
+			checkNode(fact, n)
+			fact = transferNode(fact, n)
+		}
+	}
+}
+
+// recvTryLockCond matches `recv.mu.TryLock()` / `recv.mu.TryRLock()` and
+// their negations as a branch condition.
+func recvTryLockCond(pass *Pass, recvObj types.Object, cond ast.Expr) (mu string, mode int, negated, ok bool) {
+	if cond == nil {
+		return "", 0, false, false
+	}
+	cond = ast.Unparen(cond)
+	if un, isNot := cond.(*ast.UnaryExpr); isNot && un.Op == token.NOT {
+		negated = true
+		cond = ast.Unparen(un.X)
+	}
+	call, isCall := cond.(*ast.CallExpr)
+	if !isCall {
+		return "", 0, false, false
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", 0, false, false
+	}
+	inner, isSel2 := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !isSel2 {
+		return "", 0, false, false
+	}
+	id, isID := ast.Unparen(inner.X).(*ast.Ident)
+	if !isID || pass.Info.Uses[id] != recvObj {
+		return "", 0, false, false
+	}
+	switch sel.Sel.Name {
+	case "TryLock":
+		return inner.Sel.Name, muLocked, negated, true
+	case "TryRLock":
+		return inner.Sel.Name, muRLocked, negated, true
+	}
+	return "", 0, false, false
 }

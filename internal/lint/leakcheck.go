@@ -1,0 +1,249 @@
+package lint
+
+// leakcheck.go audits goroutine lifetimes: every `go` statement must be
+// tied to a shutdown path. A goroutine is considered tied when it
+//   - observes a context.Context (cancellation),
+//   - participates in a sync.WaitGroup (calls Done),
+//   - receives from a channel declared outside itself (close-to-stop), or
+//   - is a bounded one-shot: a loop-free body whose only channel sends go
+//     to free channels provably buffered at their make site.
+// Anything else may outlive the server and is reported; intentional
+// daemons document themselves with //lint:ignore leakcheck <reason>.
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+func newLeakCheck() *Analyzer {
+	a := &Analyzer{
+		Name: "leakcheck",
+		Doc:  "every go statement must be tied to a shutdown path: a context, a WaitGroup, or a channel receive; bounded one-shots need buffered result channels",
+	}
+	a.Run = func(pass *Pass) {
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				ast.Inspect(fn.Body, func(n ast.Node) bool {
+					g, ok := n.(*ast.GoStmt)
+					if ok {
+						checkGoStmt(pass, fn, g)
+					}
+					return true
+				})
+			}
+		}
+	}
+	return a
+}
+
+func checkGoStmt(pass *Pass, enclosing *ast.FuncDecl, g *ast.GoStmt) {
+	lit, isLit := ast.Unparen(g.Call.Fun).(*ast.FuncLit)
+	if !isLit {
+		// go fn(args) / go x.m(args): the body is elsewhere; accept when a
+		// context flows in, otherwise demand an explicit tie.
+		for _, arg := range g.Call.Args {
+			if isContextType(pass.Info.Types[arg].Type) {
+				return
+			}
+		}
+		pass.Reportf(g.Pos(), "goroutine is not tied to a shutdown path (context, WaitGroup, or channel receive)")
+		return
+	}
+
+	body := lit.Body
+	if usesContext(pass, body) || callsWaitGroupDone(pass, body) || receivesFromFreeChannel(pass, lit) {
+		return
+	}
+	if loopFree(body) {
+		if send := unprovenSend(pass, enclosing, lit); send != nil {
+			pass.Reportf(send.Pos(), "goroutine may block forever sending to %s; buffer the channel or tie the goroutine to a shutdown path", exprText(send.Chan))
+			return
+		}
+		return // bounded one-shot: runs to completion on its own
+	}
+	pass.Reportf(g.Pos(), "goroutine loops without a shutdown path (context, WaitGroup, or channel receive)")
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named := derefNamed(t)
+	if named == nil {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// usesContext reports whether any identifier of type context.Context is
+// referenced in the body — cancellation is observable.
+func usesContext(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || found {
+			return !found
+		}
+		if obj := pass.Info.Uses[id]; obj != nil && isContextType(obj.Type()) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// callsWaitGroupDone reports whether the body calls Done on a
+// sync.WaitGroup — the spawner's Wait bounds the goroutine.
+func callsWaitGroupDone(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		obj := calleeObject(pass.Info, call)
+		if obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "Done" {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// receivesFromFreeChannel reports whether the goroutine receives from (or
+// ranges over, or selects on) a channel declared outside the literal —
+// closing that channel stops it.
+func receivesFromFreeChannel(pass *Pass, lit *ast.FuncLit) bool {
+	isFreeChan := func(e ast.Expr) bool {
+		if e == nil {
+			return false
+		}
+		t := pass.Info.Types[e].Type
+		if t == nil {
+			return false
+		}
+		if _, ok := t.Underlying().(*types.Chan); !ok {
+			return false
+		}
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			obj := pass.Info.Uses[x]
+			return obj != nil && !(lit.Pos() <= obj.Pos() && obj.Pos() <= lit.End())
+		case *ast.SelectorExpr, *ast.CallExpr:
+			// Field channels and ctx.Done()-style accessors live outside.
+			return true
+		}
+		return false
+	}
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.UnaryExpr:
+			if x.Op.String() == "<-" && isFreeChan(x.X) {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if isFreeChan(x.X) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// loopFree reports whether the body contains no loops (nested literals are
+// their own goroutines' problem only if started with go, which re-enters
+// checkGoStmt).
+func loopFree(body *ast.BlockStmt) bool {
+	free := true
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ForStmt, *ast.RangeStmt:
+			free = false
+		}
+		return free
+	})
+	return free
+}
+
+// unprovenSend returns the first channel send in the goroutine whose target
+// cannot be proven buffered — a one-shot goroutine blocked on an unbuffered
+// send with no receiver leaks forever.
+func unprovenSend(pass *Pass, enclosing *ast.FuncDecl, lit *ast.FuncLit) *ast.SendStmt {
+	var bad *ast.SendStmt
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if bad != nil {
+			return false
+		}
+		send, ok := n.(*ast.SendStmt)
+		if !ok {
+			return true
+		}
+		if !provenBuffered(pass, enclosing, send.Chan) {
+			bad = send
+		}
+		return true
+	})
+	return bad
+}
+
+// provenBuffered reports whether ch is a local channel whose make site in
+// the enclosing function has a constant capacity > 0.
+func provenBuffered(pass *Pass, enclosing *ast.FuncDecl, ch ast.Expr) bool {
+	id, ok := ast.Unparen(ch).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := pass.Info.Uses[id]
+	if obj == nil {
+		return false
+	}
+	buffered := false
+	ast.Inspect(enclosing.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || buffered {
+			return !buffered
+		}
+		for i, lhs := range as.Lhs {
+			lid, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok || pass.Info.Defs[lid] != obj || i >= len(as.Rhs) {
+				continue
+			}
+			call, ok := ast.Unparen(as.Rhs[i]).(*ast.CallExpr)
+			if !ok || len(call.Args) != 2 {
+				continue
+			}
+			if fn, ok := ast.Unparen(call.Fun).(*ast.Ident); !ok || fn.Name != "make" {
+				continue
+			}
+			if tv, ok := pass.Info.Types[call.Args[1]]; ok && tv.Value != nil {
+				if c, exact := constant.Int64Val(tv.Value); exact && c > 0 {
+					buffered = true
+				}
+			}
+		}
+		return !buffered
+	})
+	return buffered
+}
+
+// exprText renders a short expression for messages.
+func exprText(e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprText(x.X) + "." + x.Sel.Name
+	}
+	return "channel"
+}

@@ -16,6 +16,7 @@ import (
 	"regexp"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Finding is one diagnostic: a position, the rule that fired, and a
@@ -68,6 +69,14 @@ type Analyzer struct {
 	Finish func(report func(pos token.Position, format string, args ...any))
 }
 
+// AnalyzerStat is one analyzer's cost and yield for a whole run, surfaced
+// by igdblint -bench and scripts/lint.sh into artifacts/lint.json.
+type AnalyzerStat struct {
+	Name     string  `json:"name"`
+	WallMs   float64 `json:"wall_ms"`
+	Findings int     `json:"findings"`
+}
+
 // Linter runs a set of analyzers over loaded packages and collects
 // findings, applying //lint:ignore suppressions.
 type Linter struct {
@@ -75,7 +84,12 @@ type Linter struct {
 
 	findings   []Finding
 	suppressed map[suppressKey]*directive
+	stats      []AnalyzerStat
 }
+
+// Stats returns per-analyzer wall time and finding counts for the last
+// Run, in analyzer registration order.
+func (l *Linter) Stats() []AnalyzerStat { return l.stats }
 
 type suppressKey struct {
 	file string
@@ -99,8 +113,47 @@ func NewLinter() *Linter {
 		newLogDiscipline(),
 		newMetricLint(),
 		newGuardedBy(),
+		newLockOrder(),
+		newLeakCheck(),
+		newCloseCheck(),
+		// directive must stay last: its Finish sees which suppressions the
+		// other analyzers' findings actually used.
+		l.newDirectiveCheck(),
 	}
 	return l
+}
+
+// newDirectiveCheck audits the //lint:ignore directives themselves:
+// malformed ones are reported during scanning, and a well-formed directive
+// that suppressed zero findings is dead weight that hides future bugs.
+func (l *Linter) newDirectiveCheck() *Analyzer {
+	a := &Analyzer{
+		Name: "directive",
+		Doc:  "//lint:ignore directives must be well-formed, name a known rule, give a reason, and suppress at least one finding",
+		Run:  func(*Pass) {},
+	}
+	a.Finish = func(report func(pos token.Position, format string, args ...any)) {
+		seen := map[*directive]bool{}
+		ds := make([]*directive, 0, len(l.suppressed))
+		for _, d := range l.suppressed {
+			if !seen[d] {
+				seen[d] = true
+				ds = append(ds, d)
+			}
+		}
+		sort.Slice(ds, func(i, j int) bool {
+			if ds[i].pos.Filename != ds[j].pos.Filename {
+				return ds[i].pos.Filename < ds[j].pos.Filename
+			}
+			return ds[i].pos.Line < ds[j].pos.Line
+		})
+		for _, d := range ds {
+			if !d.used {
+				report(d.pos, "//lint:ignore %s suppresses no finding; delete it", d.rule)
+			}
+		}
+	}
+	return a
 }
 
 // Run lints every package and returns the surviving findings in
@@ -109,7 +162,9 @@ func (l *Linter) Run(pkgs []*Package, fset *token.FileSet) []Finding {
 	for _, pkg := range pkgs {
 		l.scanDirectives(pkg, fset)
 	}
+	elapsed := make(map[string]time.Duration, len(l.Analyzers))
 	for _, a := range l.Analyzers {
+		start := time.Now()
 		for _, pkg := range pkgs {
 			pass := &Pass{
 				Fset:       fset,
@@ -122,14 +177,29 @@ func (l *Linter) Run(pkgs []*Package, fset *token.FileSet) []Finding {
 			}
 			a.Run(pass)
 		}
+		elapsed[a.Name] += time.Since(start)
 	}
 	for _, a := range l.Analyzers {
 		if a.Finish == nil {
 			continue
 		}
 		rule := a.Name
+		start := time.Now()
 		a.Finish(func(pos token.Position, format string, args ...any) {
 			l.report(pos, rule, fmt.Sprintf(format, args...))
+		})
+		elapsed[rule] += time.Since(start)
+	}
+	counts := map[string]int{}
+	for _, f := range l.findings {
+		counts[f.Rule]++
+	}
+	l.stats = l.stats[:0]
+	for _, a := range l.Analyzers {
+		l.stats = append(l.stats, AnalyzerStat{
+			Name:     a.Name,
+			WallMs:   float64(elapsed[a.Name].Microseconds()) / 1000,
+			Findings: counts[a.Name],
 		})
 	}
 	sort.Slice(l.findings, func(i, j int) bool {

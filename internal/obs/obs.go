@@ -71,13 +71,13 @@ func F(key string, val interface{}) Field { return Field{Key: key, Val: val} }
 // safe for concurrent use, and all methods on a nil *Logger are no-ops.
 type Logger struct {
 	mu    sync.Mutex
-	w     io.Writer         // primary sink
-	sink  func(line string) // alternative sink (legacy printf bridges)
-	json  bool              // JSON lines instead of key=value text
-	level Level             // minimum level emitted
-	base  []Field           // fields prepended to every record (With)
-	now   func() time.Time  // injectable clock (tests)
-	noTS  bool              // suppress ts= (sinks that stamp their own)
+	w     io.Writer         // primary sink; guarded by mu
+	sink  func(line string) // alternative sink (legacy printf bridges); guarded by mu
+	json  bool              // JSON lines instead of key=value text; guarded by mu
+	level Level             // minimum level emitted; guarded by mu
+	base  []Field           // fields prepended to every record (With); guarded by mu
+	now   func() time.Time  // injectable clock (tests); guarded by mu
+	noTS  bool              // suppress ts= (sinks that stamp their own); guarded by mu
 }
 
 // New returns a text-mode Logger at LevelInfo writing to w.
@@ -208,11 +208,14 @@ func (l *Logger) log(v Level, msg string, fields []Field) {
 	}
 }
 
-// stamp returns the record timestamp, or "" when suppressed.
+// stamp returns the record timestamp, or "" when suppressed. Called from
+// log with l.mu already held.
 func (l *Logger) stamp() string {
+	//lint:ignore guardedby the only caller (log) holds l.mu
 	if l.noTS {
 		return ""
 	}
+	//lint:ignore guardedby the only caller (log) holds l.mu
 	now := l.now
 	if now == nil {
 		now = time.Now

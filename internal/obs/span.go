@@ -19,9 +19,9 @@ type Span struct {
 	name     string
 	parent   *Span
 	start    time.Time
-	end      time.Time // zero while the span is open
-	children []*Span
-	attrs    []Field
+	end      time.Time // zero while the span is open; guarded by mu
+	children []*Span   // guarded by mu
+	attrs    []Field   // guarded by mu
 }
 
 // StartTrace begins a new root span.
@@ -136,9 +136,11 @@ func (s *Span) flatten(out *[]SpanInfo, parent string, depth int, epoch time.Tim
 }
 
 func (s *Span) lockedDuration() time.Duration {
+	//lint:ignore guardedby callers hold s.mu (the locked* naming convention)
 	if s.end.IsZero() {
 		return time.Since(s.start)
 	}
+	//lint:ignore guardedby callers hold s.mu (the locked* naming convention)
 	return s.end.Sub(s.start)
 }
 

@@ -11,8 +11,8 @@ import (
 // concurrent use.
 type DB struct {
 	mu     sync.RWMutex
-	tables map[string]*Table
-	funcs  map[string]ScalarFunc
+	tables map[string]*Table     // guarded by mu
+	funcs  map[string]ScalarFunc // guarded by mu
 }
 
 // ScalarFunc is a Go-implemented SQL scalar function. iGDB registers

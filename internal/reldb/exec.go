@@ -393,6 +393,8 @@ func (e *evalEnv) evalAggregate(n *Call) (Value, error) {
 
 // ---- SELECT execution ----
 
+// execSelect runs one SELECT plan. Callers (Query, Stmt.Query) hold
+// db.mu for reading.
 func (db *DB) execSelect(s *SelectStmt) (*Rows, error) {
 	sch := newSchema()
 	var rows [][]Value
@@ -400,6 +402,7 @@ func (db *DB) execSelect(s *SelectStmt) (*Rows, error) {
 		// Expression-only select: SELECT 1+1.
 		rows = [][]Value{nil}
 	} else {
+		//lint:ignore guardedby callers (Query, Stmt.Query) hold db.mu
 		base, ok := db.tables[strings.ToLower(s.From.Name)]
 		if !ok {
 			return nil, fmt.Errorf("reldb: no such table %q", s.From.Name)
@@ -408,6 +411,7 @@ func (db *DB) execSelect(s *SelectStmt) (*Rows, error) {
 		rows = make([][]Value, len(base.Rows))
 		copy(rows, base.Rows)
 		for _, j := range s.Joins {
+			//lint:ignore guardedby callers (Query, Stmt.Query) hold db.mu
 			jt, ok := db.tables[strings.ToLower(j.Table.Name)]
 			if !ok {
 				return nil, fmt.Errorf("reldb: no such table %q", j.Table.Name)

@@ -3,7 +3,12 @@ package reldb
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 )
+
+// ErrStmtClosed is returned by Query on a statement whose plan has been
+// released with Close.
+var ErrStmtClosed = errors.New("reldb: statement is closed")
 
 // ErrNotSelect is returned by Prepare (and wrapped by Classify callers) when
 // a statement parses correctly but is not a read-only SELECT. Servers use it
@@ -17,9 +22,10 @@ var ErrNotSelect = errors.New("reldb: statement is not a SELECT")
 // A Stmt sees the table contents current at each Query call, not at Prepare
 // time; it is a cached plan, not a snapshot.
 type Stmt struct {
-	db  *DB
-	sel *SelectStmt
-	sql string
+	db     *DB
+	sel    *SelectStmt
+	sql    string
+	closed atomic.Bool
 }
 
 // Prepare parses a SELECT once and returns a reusable statement. Any other
@@ -41,9 +47,21 @@ func (db *DB) Prepare(sql string) (*Stmt, error) {
 // plan is shared and never mutated by execution, so concurrent Query calls
 // on one Stmt are safe.
 func (s *Stmt) Query() (*Rows, error) {
+	if s.closed.Load() {
+		return nil, ErrStmtClosed
+	}
 	s.db.mu.RLock()
 	defer s.db.mu.RUnlock()
 	return s.db.execSelect(s.sel)
+}
+
+// Close releases the prepared plan. Further Query calls return
+// ErrStmtClosed; Close is idempotent and safe for concurrent use. Plans
+// hold parsed AST memory, so long-lived servers that prepare per-request
+// (rather than through a plan cache) must close what they prepare.
+func (s *Stmt) Close() error {
+	s.closed.Store(true)
+	return nil
 }
 
 // SQL returns the statement text the plan was prepared from.

@@ -2,6 +2,7 @@ package render
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 
@@ -187,6 +188,11 @@ func WriteLayerGeoJSON(w io.Writer, db *reldb.DB, layer string) (int, error) {
 		return 0, err
 	}
 	if err := LayerFeatures(db, layer, fw.Add); err != nil {
+		// Terminate the stream so partial output is still well-formed
+		// GeoJSON; the feature error is the one worth reporting.
+		if cerr := fw.Close(); cerr != nil {
+			err = errors.Join(err, cerr)
+		}
 		return fw.Len(), err
 	}
 	return fw.Len(), fw.Close()

@@ -377,6 +377,9 @@ func (s *Server) handlePath(w http.ResponseWriter, r *http.Request) {
 	}
 	if err := fw.Add(wkt.NewLineString(line), props); err != nil {
 		s.logger.Error("path export failed", obs.F("request_id", RequestID(r)), obs.F("err", err))
+		if cerr := fw.Close(); cerr != nil {
+			s.logger.Debug("path export close failed", obs.F("request_id", RequestID(r)), obs.F("err", cerr))
+		}
 		return
 	}
 	if err := fw.Close(); err != nil {

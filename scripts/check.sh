@@ -16,9 +16,11 @@ go vet ./...
 go build ./...
 
 # Project-aware static analysis: SQL/schema consistency, error and logging
-# discipline, metric hygiene, and mutex-guard annotations. Any finding
-# fails the gate (igdblint exits non-zero).
-go run ./cmd/igdblint ./...
+# discipline, metric hygiene, path-sensitive mutex-guard checking, lock
+# ordering (deadlock detection), goroutine leaks, unclosed closers, and
+# dead suppressions. Any finding fails the gate; per-analyzer timings land
+# in artifacts/lint.json and BENCH_lint.json.
+scripts/lint.sh
 
 go test -race ./...
 

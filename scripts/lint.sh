@@ -2,8 +2,10 @@
 # Static-analysis wrapper around cmd/igdblint.
 #
 # Lints the whole module, prints findings in file:line:col form, and always
-# writes the machine-readable JSON report to artifacts/lint.json (an empty
-# array when clean) so CI can archive it. Exits non-zero on findings.
+# writes the machine-readable JSON report (findings plus per-analyzer wall
+# time and counts) to artifacts/lint.json, and the standalone benchmark
+# artifact to BENCH_lint.json, so CI can archive both. Exits non-zero on
+# findings.
 #
 # Usage:
 #   scripts/lint.sh                 # lint ./...
@@ -15,7 +17,7 @@ cd "$(dirname "$0")/.."
 mkdir -p artifacts
 
 status=0
-go run ./cmd/igdblint -json "$@" >artifacts/lint.json || status=$?
+go run ./cmd/igdblint -json -bench BENCH_lint.json "$@" >artifacts/lint.json || status=$?
 if [ "$status" -eq 2 ]; then
     echo "lint.sh: igdblint failed to load packages" >&2
     exit 2
