@@ -14,16 +14,17 @@ import (
 )
 
 // frozenFlags is every flag registration in this package's sources, sorted,
-// duplicates included (several subcommands share -dir, -as-of, -degraded,
-// -stale-after). The igdblint PR must not grow igdb's CLI surface: new
-// tooling lives in cmd/igdblint. Extending igdb itself means updating this
-// list deliberately.
+// duplicates included (addBuildFlags registers the shared -dir/-as-of/
+// -degraded/-stale-after once; collect and simulate each have a -seed).
+// Scripts and docs depend on these spellings, so extending igdb's CLI
+// surface means updating this list deliberately.
 var frozenFlags = []string{
 	"addr", "as-of", "as-of", "cache-size", "continue-on-error",
 	"degraded", "degraded", "dir", "dir", "dir", "format", "layer",
-	"log-json", "max-concurrency", "max-rows", "o", "pprof", "query-log",
-	"rebuild-every", "retries", "scale", "seed", "slow-query",
-	"stale-after", "stale-after", "timeout", "trace",
+	"log-json", "max-concurrency", "max-rows", "o", "pairs", "pprof",
+	"query-log", "rebuild-every", "retries", "scale", "scenarios",
+	"seed", "seed", "simulate-scenarios", "simulate-seed", "slow-query",
+	"stale-after", "stale-after", "timeout", "top", "trace", "workers",
 }
 
 // frozenLintFlags freezes cmd/igdblint's surface the same way: -bench

@@ -13,6 +13,7 @@
 //	igdb tables  -dir DIR
 //	igdb export  -dir DIR -layer LAYER [-format geojson|svg] [-o FILE]
 //	igdb analyze -dir DIR [-as-of YYYY-MM-DD]
+//	igdb simulate -dir DIR [-scenarios N] [-seed S] [-workers W] [-pairs P] [-top K]
 //	igdb serve   -dir DIR [-addr :8080] [-rebuild-every DUR] [-degraded]
 //
 // -degraded builds quarantine corrupt, missing, or stale sources in the
@@ -63,6 +64,8 @@ func main() {
 		err = cmdExport(os.Args[2:])
 	case "analyze":
 		err = cmdAnalyze(os.Args[2:])
+	case "simulate":
+		err = cmdSimulate(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
 	case "help", "-h", "--help":
@@ -89,6 +92,7 @@ commands:
   tables    list relations and row counts
   export    export a layer as GeoJSON or SVG
   analyze   fuse the traceroute mesh into ip_asn_dns and summarize it
+  simulate  run Monte-Carlo what-if failure scenarios against the built database
   serve     serve the built database over HTTP (read-only SQL API)
 
 run 'igdb COMMAND -h' for command flags

@@ -32,6 +32,8 @@ func cmdServe(args []string) error {
 	slowQuery := fs.Duration("slow-query", 0, "record /sql statements slower than this in GET /debug/queries (0 = 250ms default, negative = all)")
 	queryLog := fs.Int("query-log", 128, "slow-query log ring-buffer capacity")
 	logJSON := fs.Bool("log-json", false, "emit logs as JSON lines instead of key=value text")
+	simScenarios := fs.Int("simulate-scenarios", 0, "run this many what-if failure scenarios against every snapshot after build (0 = off); results serve via POST /sql")
+	simSeed := fs.Int64("simulate-seed", 1, "seed for the snapshot simulation batch")
 	_ = fs.Parse(args)
 	if *dir == "" {
 		return fmt.Errorf("-dir is required")
@@ -53,6 +55,9 @@ func cmdServe(args []string) error {
 		EnablePprof:    *enablePprof,
 		SlowQueryMin:   *slowQuery,
 		QueryLogSize:   *queryLog,
+
+		SimulateScenarios: *simScenarios,
+		SimulateSeed:      *simSeed,
 	}
 	if *asOf != "" {
 		t, err := time.Parse("2006-01-02", *asOf)

@@ -8,8 +8,9 @@ import (
 )
 
 // SchemaDDL is the canonical iGDB schema: every Figure 2 relation plus the
-// operational relations (source_status, build_trace) and their indexes, as
-// executable DDL. It is the single source of truth — Build executes exactly
+// operational relations (source_status, build_trace) and the what-if
+// simulation results (scenario_runs, scenario_impacts, filled by
+// internal/simulate) and their indexes, as executable DDL. It is the single source of truth — Build executes exactly
 // these statements, SchemaTables derives the machine-readable form from
 // them, and cmd/igdblint's sqlcheck analyzer validates every SQL literal in
 // the repository against it. as_of_date is mandatory on all paper relations
@@ -46,11 +47,20 @@ var SchemaDDL = []string{
 		rows_loaded INTEGER, load_ms REAL, as_of_date TEXT)`,
 	`CREATE TABLE build_trace (span TEXT, parent TEXT, depth INTEGER,
 		start_ms REAL, duration_ms REAL, attrs TEXT)`,
+	`CREATE TABLE scenario_runs (scenario_id INTEGER, kind TEXT, target TEXT,
+		seed INTEGER, failed_nodes INTEGER, failed_edges INTEGER,
+		pairs_total INTEGER, pairs_lost INTEGER, reachability_loss REAL,
+		mean_inflation REAL, max_inflation REAL, components_base INTEGER,
+		components INTEGER, as_of_date TEXT)`,
+	`CREATE TABLE scenario_impacts (scenario_id INTEGER, impact TEXT,
+		name TEXT, lost_pairs INTEGER, rank INTEGER, as_of_date TEXT)`,
 	`CREATE INDEX ON asn_loc (asn)`,
 	`CREATE INDEX ON asn_name (asn)`,
 	`CREATE INDEX ON asn_org (asn)`,
 	`CREATE INDEX ON phys_nodes (metro)`,
 	`CREATE INDEX ON rdns (ip)`,
+	`CREATE INDEX ON scenario_runs (scenario_id)`,
+	`CREATE INDEX ON scenario_impacts (scenario_id)`,
 }
 
 // SchemaTables parses SchemaDDL into the machine-readable table → column

@@ -193,11 +193,24 @@ func SegmentPointDistance(p, a, b XY) (dist, t float64) {
 	return math.Hypot(p.X-cx, p.Y-cy), t
 }
 
+// wrapLon180 normalizes a longitude difference into [-180, 180].
+func wrapLon180(d float64) float64 {
+	d = math.Mod(d+180, 360)
+	if d < 0 {
+		d += 360
+	}
+	return d - 180
+}
+
 // DistanceToSegmentKm returns the great-circle-accurate distance in km from
 // point p to the geodesic segment ab, computed in a local equirectangular
 // plane centered on the segment (accurate for the sub-thousand-km segments
-// right-of-way networks consist of).
+// right-of-way networks consist of). Longitudes are unwrapped into a frame
+// centered on a, so a segment crossing the antimeridian (179.9° → -179.9°)
+// projects as the short 0.2° hop, not a planet-wide span.
 func DistanceToSegmentKm(p, a, b geo.Point) float64 {
+	b.Lon = a.Lon + wrapLon180(b.Lon-a.Lon)
+	p.Lon = a.Lon + wrapLon180(p.Lon-a.Lon)
 	pr := geo.LocalProjection(geo.Point{Lon: (a.Lon + b.Lon) / 2, Lat: (a.Lat + b.Lat) / 2})
 	px, py := pr.Forward(p)
 	ax, ay := pr.Forward(a)

@@ -380,3 +380,69 @@ func TestConvexHullProperty(t *testing.T) {
 		}
 	}
 }
+
+func TestDistanceToSegmentKmAntimeridian(t *testing.T) {
+	// A segment hopping the antimeridian: 0.2° of longitude at the equator,
+	// not a planet-wide span. Naive projection of raw longitudes would put
+	// the endpoints ~40000 km apart and misplace every distance.
+	a := geo.Point{Lon: 179.9, Lat: 0}
+	b := geo.Point{Lon: -179.9, Lat: 0}
+	cases := []struct {
+		name   string
+		p      geo.Point
+		wantKm float64
+		within float64
+	}{
+		{"on the meridian itself", geo.Point{Lon: 180, Lat: 0}, 0, 0.5},
+		{"just north of the midpoint", geo.Point{Lon: 180, Lat: 0.5}, 55.6, 1.5},
+		{"west endpoint side", geo.Point{Lon: 179.5, Lat: 0}, 44.5, 1.5},
+		{"east endpoint side", geo.Point{Lon: -179.5, Lat: 0}, 44.5, 1.5},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := DistanceToSegmentKm(tc.p, a, b)
+			if math.Abs(got-tc.wantKm) > tc.within {
+				t.Errorf("DistanceToSegmentKm = %.2f km, want %.2f ± %.1f", got, tc.wantKm, tc.within)
+			}
+			// Symmetric in the segment's orientation.
+			if rev := DistanceToSegmentKm(tc.p, b, a); math.Abs(rev-got) > 1e-6 {
+				t.Errorf("orientation asymmetry: %.6f vs %.6f", got, rev)
+			}
+		})
+	}
+}
+
+func TestDistanceToPolylineKmAntimeridian(t *testing.T) {
+	// A cable-like polyline crossing the antimeridian at the equator.
+	line := []geo.Point{{Lon: 178, Lat: 0}, {Lon: 179.5, Lat: 0.2}, {Lon: -179, Lat: 0}}
+	km, seg := DistanceToPolylineKm(geo.Point{Lon: 179.9, Lat: 0.1}, line)
+	if km > 15 {
+		t.Errorf("point near the crossing should be close to the line, got %.1f km", km)
+	}
+	if seg != 1 {
+		t.Errorf("nearest segment = %d, want 1 (the crossing segment)", seg)
+	}
+	// A point a whole hemisphere away stays far even with wrapping.
+	if km, _ := DistanceToPolylineKm(geo.Point{Lon: 0, Lat: 0}, line); km < 19000 {
+		t.Errorf("antipodal point should be ~20000 km away, got %.0f", km)
+	}
+}
+
+func TestDistanceToSegmentKmNearPole(t *testing.T) {
+	// Segment along the 89°N parallel from lon 0 to lon 90. Every point on
+	// it is one degree (~111 km) from the pole; the local projection must
+	// not blow that up even though meridians converge sharply there.
+	a := geo.Point{Lon: 0, Lat: 89}
+	b := geo.Point{Lon: 90, Lat: 89}
+	pole := geo.Point{Lon: 45, Lat: 90}
+	got := DistanceToSegmentKm(pole, a, b)
+	if got < 95 || got > 125 {
+		t.Errorf("pole to 89°N segment = %.1f km, want ≈111", got)
+	}
+	// A point on the parallel between the endpoints is near the segment
+	// (the chord cuts poleward of the parallel, so allow the sagitta).
+	mid := geo.Point{Lon: 45, Lat: 89}
+	if got := DistanceToSegmentKm(mid, a, b); got > 50 {
+		t.Errorf("on-parallel midpoint = %.1f km from chord, want < 50", got)
+	}
+}

@@ -28,8 +28,11 @@ func (h Hazard) Contains(p geo.Point) bool {
 	return geo.Haversine(h.Center, p) <= h.RadiusKm
 }
 
-// crossesLine reports whether any part of a polyline enters the hazard.
-func (h Hazard) crossesLine(line []geo.Point) bool {
+// CrossesLine reports whether any part of a polyline (a conduit geometry, a
+// submarine cable route) enters the hazard. Exported for the what-if
+// failure engine (internal/simulate), which resolves hazard scenarios to
+// the edges they sever using exactly this predicate.
+func (h Hazard) CrossesLine(line []geo.Point) bool {
 	d, _ := geom.DistanceToPolylineKm(h.Center, line)
 	return d <= h.RadiusKm
 }
@@ -98,7 +101,7 @@ func Assess(g *core.IGDB, h Hazard) (*Report, error) {
 		if err != nil || gw.Kind != wkt.KindLineString {
 			continue
 		}
-		if !h.crossesLine(gw.Line) {
+		if !h.CrossesLine(gw.Line) {
 			continue
 		}
 		fm, _ := r[0].AsText()
@@ -122,7 +125,7 @@ func Assess(g *core.IGDB, h Hazard) (*Report, error) {
 		if err != nil || gw.Kind != wkt.KindLineString {
 			continue
 		}
-		if !h.crossesLine(gw.Line) {
+		if !h.CrossesLine(gw.Line) {
 			continue
 		}
 		name, _ := r[0].AsText()

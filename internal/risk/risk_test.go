@@ -146,3 +146,48 @@ func TestHazardContains(t *testing.T) {
 		t.Error("222 km should be outside")
 	}
 }
+
+func TestHazardAntimeridian(t *testing.T) {
+	// A cyclone sitting on the antimeridian: containment and line-crossing
+	// must treat lon +179.8 and -179.8 as ~44 km apart, not ~39960.
+	h := Hazard{Name: "dateline cyclone", Center: geo.Point{Lon: 179.8, Lat: -15}, RadiusKm: 200}
+	if !h.Contains(geo.Point{Lon: -179.8, Lat: -15}) {
+		t.Error("point 0.4° across the antimeridian should be inside")
+	}
+	if h.Contains(geo.Point{Lon: 175, Lat: -15}) {
+		t.Error("point ~515 km west should be outside")
+	}
+	// A trans-Pacific cable segment crossing the dateline through the
+	// hazard.
+	cable := []geo.Point{{Lon: 170, Lat: -15}, {Lon: -170, Lat: -15}}
+	if !h.CrossesLine(cable) {
+		t.Error("cable through the hazard center's latitude should cross")
+	}
+	// The same cable shifted 10° south passes well clear.
+	clear := []geo.Point{{Lon: 170, Lat: -25}, {Lon: -170, Lat: -25}}
+	if h.CrossesLine(clear) {
+		t.Error("cable 1100 km south should not cross")
+	}
+}
+
+func TestHazardNearPole(t *testing.T) {
+	// A hazard centered 0.5° from the north pole: all longitudes converge,
+	// so points at every meridian within the radius are inside.
+	h := Hazard{Name: "polar event", Center: geo.Point{Lon: 0, Lat: 89.5}, RadiusKm: 200}
+	for _, lon := range []float64{0, 90, 180, -90} {
+		if !h.Contains(geo.Point{Lon: lon, Lat: 89.5}) {
+			t.Errorf("point at lon %g, lat 89.5 should be inside (≤ ~111 km)", lon)
+		}
+	}
+	if h.Contains(geo.Point{Lon: 0, Lat: 87}) {
+		t.Error("point ~278 km south should be outside")
+	}
+	// A polyline ringing the pole at 89.7°N stays inside the hazard.
+	var ring []geo.Point
+	for lon := -180.0; lon <= 180; lon += 30 {
+		ring = append(ring, geo.Point{Lon: lon, Lat: 89.7})
+	}
+	if !h.CrossesLine(ring) {
+		t.Error("polar ring at 89.7°N should cross the hazard")
+	}
+}

@@ -509,5 +509,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		sources:        snap.g.SourceStatus,
 		stages:         snap.g.BuildTrace.Stages(),
 		collectRetries: ingest.RetriesTotal(),
+		simScenarios:   snap.simCount,
+		simTime:        snap.simTime,
 	})
 }

@@ -44,6 +44,8 @@ type Metrics struct {
 
 	rebuilds      atomic.Uint64
 	rebuildErrors atomic.Uint64
+	simScenarios  atomic.Uint64 // what-if scenarios evaluated across all snapshots
+	simErrors     atomic.Uint64 // snapshot simulation batches that failed
 	panics        atomic.Uint64
 	rejected      atomic.Uint64 // limiter/timeout rejections (503/504)
 	slowQueries   atomic.Uint64 // /sql statements over the slow-query threshold
@@ -110,6 +112,8 @@ type snapGauges struct {
 	sources        []core.SourceStatus
 	stages         []obs.StageTiming
 	collectRetries uint64
+	simScenarios   int           // scenarios simulated against the serving snapshot
+	simTime        time.Duration // wall time of that simulation batch
 }
 
 // help emits the HELP/TYPE header for one metric. Every exposed metric name
@@ -203,6 +207,15 @@ func (m *Metrics) WriteTo(w io.Writer, g snapGauges) {
 	fmt.Fprintf(w, "igdb_degraded %d\n", g.degraded)
 	help(w, "igdb_quarantined_sources", "gauge", "Sources quarantined in the serving snapshot.")
 	fmt.Fprintf(w, "igdb_quarantined_sources %d\n", g.quarantined)
+
+	help(w, "igdb_simulate_scenarios_total", "counter", "What-if failure scenarios evaluated across all snapshot simulations in this process.")
+	fmt.Fprintf(w, "igdb_simulate_scenarios_total %d\n", m.simScenarios.Load())
+	help(w, "igdb_simulate_errors_total", "counter", "Snapshot simulation batches that failed (snapshot served with empty scenario relations).")
+	fmt.Fprintf(w, "igdb_simulate_errors_total %d\n", m.simErrors.Load())
+	help(w, "igdb_simulate_snapshot_scenarios", "gauge", "Scenarios simulated against the serving snapshot.")
+	fmt.Fprintf(w, "igdb_simulate_snapshot_scenarios %d\n", g.simScenarios)
+	help(w, "igdb_simulate_snapshot_seconds", "gauge", "Wall time of the serving snapshot's simulation batch.")
+	fmt.Fprintf(w, "igdb_simulate_snapshot_seconds %g\n", g.simTime.Seconds())
 
 	help(w, "igdb_source_load_seconds", "gauge", "Per-source load wall time in the serving snapshot's build.")
 	for _, st := range g.sources {

@@ -36,6 +36,7 @@ import (
 	"igdb/internal/obs"
 	"igdb/internal/paths"
 	"igdb/internal/reldb"
+	"igdb/internal/simulate"
 )
 
 // Config controls the server.
@@ -88,6 +89,16 @@ type Config struct {
 	QueryLogSize int
 	// EnablePprof mounts net/http/pprof under GET /debug/pprof/.
 	EnablePprof bool
+	// SimulateScenarios, when positive, runs a Monte-Carlo what-if failure
+	// batch of this many scenarios against every snapshot right after it
+	// builds, so scenario_runs / scenario_impacts are populated and
+	// queryable through POST /sql the moment the snapshot starts serving.
+	// A failed simulation degrades to empty relations; it never blocks the
+	// snapshot.
+	SimulateScenarios int
+	// SimulateSeed seeds the scenario generator (default 1); the same
+	// store and seed produce identical scenario relations on every rebuild.
+	SimulateSeed int64
 }
 
 func (c *Config) fillDefaults() {
@@ -133,6 +144,8 @@ type snapshot struct {
 	seq       uint64
 	builtAt   time.Time
 	buildTime time.Duration
+	simCount  int           // scenarios simulated against this snapshot
+	simTime   time.Duration // wall time of that simulation batch
 	plans     *lruCache[*reldb.Stmt]
 	results   *lruCache[*sqlResult]
 }
@@ -226,6 +239,7 @@ func (s *Server) buildSnapshot() (*snapshot, error) {
 		pipe, pipeErr = nil, err.Error()
 		s.logger.Warn("degraded: paths pipeline unavailable", obs.F("err", err))
 	}
+	simCount, simTime := s.simulateSnapshot(g)
 	resultSize := s.cfg.CacheSize
 	if resultSize < 0 {
 		resultSize = 0 // disabled; sqlResult lookups are skipped entirely
@@ -237,12 +251,41 @@ func (s *Server) buildSnapshot() (*snapshot, error) {
 		seq:       s.seq.Add(1),
 		builtAt:   time.Now(),
 		buildTime: time.Since(t0),
+		simCount:  simCount,
+		simTime:   simTime,
 		plans:     newLRU[*reldb.Stmt](max(s.cfg.CacheSize, 16)),
 	}
 	if resultSize > 0 {
 		snap.results = newLRU[*sqlResult](resultSize)
 	}
 	return snap, nil
+}
+
+// simulateSnapshot runs the configured what-if failure batch against a
+// freshly built database, before the snapshot starts serving. Simulation
+// is auxiliary: on error the snapshot ships with empty scenario relations
+// and the failure is logged and counted, mirroring how a degraded build
+// quarantines a bad source instead of dying.
+func (s *Server) simulateSnapshot(g *core.IGDB) (int, time.Duration) {
+	if s.cfg.SimulateScenarios <= 0 {
+		return 0, 0
+	}
+	eng, err := simulate.NewEngine(g, simulate.Options{
+		Seed:   s.cfg.SimulateSeed,
+		Logger: s.logger,
+	})
+	if err == nil {
+		results := eng.Run(eng.Generate(s.cfg.SimulateScenarios), 0)
+		if _, serr := eng.Store(results); serr != nil {
+			err = serr
+		} else {
+			s.metrics.simScenarios.Add(uint64(len(results)))
+			return len(results), eng.Elapsed()
+		}
+	}
+	s.metrics.simErrors.Add(1)
+	s.logger.Warn("snapshot simulation failed", obs.F("err", err))
+	return 0, 0
 }
 
 // Rebuild re-reads the store directory (picking up snapshots collected

@@ -1,0 +1,150 @@
+package server
+
+import (
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// cellInt converts one JSON-decoded /sql cell (float64 for numbers) to int.
+func cellInt(t *testing.T, v interface{}) int {
+	t.Helper()
+	switch x := v.(type) {
+	case float64:
+		return int(x)
+	case string:
+		n, err := strconv.Atoi(x)
+		if err != nil {
+			t.Fatalf("cell %q is not a number", x)
+		}
+		return n
+	default:
+		t.Fatalf("cell has unexpected type %T (%v)", v, v)
+		return 0
+	}
+}
+
+// scrapeMetric fetches /metrics and returns the value of an unlabeled
+// series as a float.
+func scrapeMetric(t *testing.T, s *Server, name string) float64 {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("metrics status = %d", rec.Code)
+	}
+	for _, line := range strings.Split(rec.Body.String(), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 2 && fields[0] == name {
+			v, err := strconv.ParseFloat(fields[1], 64)
+			if err != nil {
+				t.Fatalf("metric %s has non-numeric value %q", name, fields[1])
+			}
+			return v
+		}
+	}
+	t.Fatalf("metric %s not exposed:\n%s", name, rec.Body.String())
+	return 0
+}
+
+// TestServeSimulateBatch: with SimulateScenarios set, every snapshot is
+// simulated against before it serves, the results answer POST /sql, and
+// the igdb_simulate_* metric family reports the batch.
+func TestServeSimulateBatch(t *testing.T) {
+	s := newTestServer(t, Config{SimulateScenarios: 15, SimulateSeed: 7})
+	h := s.Handler()
+
+	rec, resp := postSQL(t, h, `SELECT COUNT(*) FROM scenario_runs`)
+	if rec.Code != 200 {
+		t.Fatalf("sql status = %d: %s", rec.Code, rec.Body.String())
+	}
+	if len(resp.Rows) != 1 || cellInt(t, resp.Rows[0][0]) != 15 {
+		t.Fatalf("scenario_runs count = %v, want 15", resp.Rows)
+	}
+	rec, resp = postSQL(t, h, `SELECT COUNT(*) FROM scenario_impacts`)
+	if rec.Code != 200 || len(resp.Rows) != 1 {
+		t.Fatalf("scenario_impacts query failed: %d %s", rec.Code, rec.Body.String())
+	}
+	if n := cellInt(t, resp.Rows[0][0]); n <= 0 {
+		t.Fatalf("scenario_impacts is empty")
+	}
+	// Ranked impacts join back to their runs through scenario_id.
+	rec, resp = postSQL(t, h, `SELECT r.kind, i.name, i.lost_pairs
+		FROM scenario_runs r JOIN scenario_impacts i ON i.scenario_id = r.scenario_id
+		WHERE i.rank = 1 AND i.impact = 'metro' LIMIT 5`)
+	if rec.Code != 200 {
+		t.Fatalf("join query status = %d: %s", rec.Code, rec.Body.String())
+	}
+
+	if got := scrapeMetric(t, s, "igdb_simulate_scenarios_total"); got != 15 {
+		t.Errorf("igdb_simulate_scenarios_total = %g, want 15", got)
+	}
+	if got := scrapeMetric(t, s, "igdb_simulate_snapshot_scenarios"); got != 15 {
+		t.Errorf("igdb_simulate_snapshot_scenarios = %g, want 15", got)
+	}
+	if got := scrapeMetric(t, s, "igdb_simulate_snapshot_seconds"); got <= 0 {
+		t.Errorf("igdb_simulate_snapshot_seconds = %g, want > 0", got)
+	}
+	if got := scrapeMetric(t, s, "igdb_simulate_errors_total"); got != 0 {
+		t.Errorf("igdb_simulate_errors_total = %g, want 0", got)
+	}
+
+	// A rebuild simulates the new snapshot too: the process counter grows,
+	// the per-snapshot gauge stays at the batch size.
+	if _, _, err := s.Rebuild(); err != nil {
+		t.Fatal(err)
+	}
+	if got := scrapeMetric(t, s, "igdb_simulate_scenarios_total"); got != 30 {
+		t.Errorf("after rebuild igdb_simulate_scenarios_total = %g, want 30", got)
+	}
+	if got := scrapeMetric(t, s, "igdb_simulate_snapshot_scenarios"); got != 15 {
+		t.Errorf("after rebuild igdb_simulate_snapshot_scenarios = %g, want 15", got)
+	}
+	rec, resp = postSQL(t, h, `SELECT COUNT(*) FROM scenario_runs`)
+	if rec.Code != 200 || len(resp.Rows) != 1 || cellInt(t, resp.Rows[0][0]) != 15 {
+		t.Fatalf("after rebuild scenario_runs = %v, want 15 rows exactly (fresh snapshot, not accumulation)", resp.Rows)
+	}
+}
+
+// TestSimulateOffByDefault: without SimulateScenarios the relations exist
+// but stay empty and no batch runs.
+func TestSimulateOffByDefault(t *testing.T) {
+	s := newTestServer(t, Config{})
+	rec, resp := postSQL(t, s.Handler(), `SELECT COUNT(*) FROM scenario_runs`)
+	if rec.Code != 200 || len(resp.Rows) != 1 || cellInt(t, resp.Rows[0][0]) != 0 {
+		t.Fatalf("scenario_runs without simulation = %v, want 0", resp.Rows)
+	}
+	if got := scrapeMetric(t, s, "igdb_simulate_scenarios_total"); got != 0 {
+		t.Errorf("igdb_simulate_scenarios_total = %g, want 0", got)
+	}
+}
+
+// TestSnapshotAgeGaugeValue is the dedicated behavior test for
+// igdb_snapshot_age_seconds: a parseable, non-negative, monotonically
+// growing gauge that resets when a rebuild swaps in a younger snapshot.
+func TestSnapshotAgeGaugeValue(t *testing.T) {
+	s := newTestServer(t, Config{})
+	age1 := scrapeMetric(t, s, "igdb_snapshot_age_seconds")
+	if age1 < 0 {
+		t.Fatalf("snapshot age = %g, want >= 0", age1)
+	}
+	if age1 > 300 {
+		t.Fatalf("snapshot age = %g right after build, implausible", age1)
+	}
+	age2 := scrapeMetric(t, s, "igdb_snapshot_age_seconds")
+	if age2 < age1 {
+		t.Fatalf("snapshot age went backwards without a rebuild: %g -> %g", age1, age2)
+	}
+	seq1 := scrapeMetric(t, s, "igdb_snapshot_seq")
+	if _, _, err := s.Rebuild(); err != nil {
+		t.Fatal(err)
+	}
+	if seq2 := scrapeMetric(t, s, "igdb_snapshot_seq"); seq2 != seq1+1 {
+		t.Fatalf("snapshot seq after rebuild = %g, want %g", seq2, seq1+1)
+	}
+	age3 := scrapeMetric(t, s, "igdb_snapshot_age_seconds")
+	if age3 < 0 || age3 > age2+60 {
+		t.Fatalf("snapshot age after rebuild = %g, want a freshly reset gauge", age3)
+	}
+}

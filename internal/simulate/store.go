@@ -1,0 +1,103 @@
+package simulate
+
+import (
+	"time"
+
+	"igdb/internal/obs"
+	"igdb/internal/reldb"
+)
+
+// impactGroups fixes the persisted attribution dimensions and their order.
+var impactGroups = []string{"as", "country", "metro"}
+
+// Store persists a batch into the scenario_runs and scenario_impacts
+// relations and appends the engine's span tree to build_trace, ending the
+// engine's trace. Rows are emitted in scenario order with impact groups in
+// fixed (as, country, metro) order, so identical batches produce identical
+// relation contents. Call once per engine, after the last Run. Returns the
+// number of rows inserted across both scenario relations.
+func (e *Engine) Store(results []Result) (int, error) {
+	sp := e.trace.Start("store")
+	asOf := "latest"
+	if !e.g.AsOf.IsZero() {
+		asOf = e.g.AsOf.UTC().Format("2006-01-02")
+	}
+	runRows := make([][]reldb.Value, 0, len(results))
+	var impactRows [][]reldb.Value
+	for _, r := range results {
+		runRows = append(runRows, []reldb.Value{
+			reldb.Int(int64(r.Scenario.ID)),
+			reldb.Text(r.Scenario.Kind),
+			reldb.Text(r.Scenario.Target),
+			reldb.Int(e.seed),
+			reldb.Int(int64(r.FailedNodes)),
+			reldb.Int(int64(r.FailedEdges)),
+			reldb.Int(int64(r.PairsTotal)),
+			reldb.Int(int64(r.PairsLost)),
+			reldb.Float(r.ReachabilityLoss),
+			reldb.Float(r.MeanInflation),
+			reldb.Float(r.MaxInflation),
+			reldb.Int(int64(r.ComponentsBase)),
+			reldb.Int(int64(r.Components)),
+			reldb.Text(asOf),
+		})
+		for _, group := range impactGroups {
+			var impacts []Impact
+			switch group {
+			case "as":
+				impacts = r.ASImpacts
+			case "country":
+				impacts = r.CountryImpacts
+			case "metro":
+				impacts = r.MetroImpacts
+			}
+			for _, im := range impacts {
+				impactRows = append(impactRows, []reldb.Value{
+					reldb.Int(int64(r.Scenario.ID)),
+					reldb.Text(group),
+					reldb.Text(im.Name),
+					reldb.Int(int64(im.LostPairs)),
+					reldb.Int(int64(im.Rank)),
+					reldb.Text(asOf),
+				})
+			}
+		}
+	}
+	if err := e.g.Rel.BulkInsert("scenario_runs", runRows); err != nil {
+		sp.End()
+		return 0, err
+	}
+	if err := e.g.Rel.BulkInsert("scenario_impacts", impactRows); err != nil {
+		sp.End()
+		return 0, err
+	}
+	sp.SetAttr("runs", len(runRows))
+	sp.SetAttr("impacts", len(impactRows))
+	sp.End()
+	e.trace.End()
+	if err := e.storeTrace(); err != nil {
+		return 0, err
+	}
+	return len(runRows) + len(impactRows), nil
+}
+
+// storeTrace appends the engine's span tree to the build_trace relation,
+// mirroring core's per-build persistence so simulation timings are SQL-
+// queryable next to build timings. Span start offsets are relative to the
+// simulate root, not the build root.
+func (e *Engine) storeTrace() error {
+	infos := e.trace.Flatten()
+	rows := make([][]reldb.Value, 0, len(infos))
+	for _, si := range infos {
+		rows = append(rows, []reldb.Value{
+			reldb.Text(si.Name), reldb.Text(si.Parent), reldb.Int(int64(si.Depth)),
+			reldb.Float(si.StartMs), reldb.Float(si.DurationMs),
+			reldb.Text(obs.FormatFields(si.Attrs)),
+		})
+	}
+	return e.g.Rel.BulkInsert("build_trace", rows)
+}
+
+// Elapsed returns the engine trace's wall time so far; after Store it is
+// the total simulate duration.
+func (e *Engine) Elapsed() time.Duration { return e.trace.Duration() }

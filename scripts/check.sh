@@ -36,4 +36,10 @@ go test -race -run 'TestChaos|TestDegraded|TestStale|TestFailedRebuild|TestColle
 # the benchmarks it drives cannot rot.
 scripts/bench.sh --smoke
 
+# Smoke the what-if failure engine: a tiny deterministic scenario batch
+# under the race detector (worker-pool result invariance and SQL-queryable
+# stored rows), plus the harness that writes BENCH_simulate.json.
+go test -race -run 'TestRunWorkerCountInvariance|TestStoreSQLQueryable' ./internal/simulate/
+scripts/simulate.sh --smoke
+
 echo "check.sh: all green"
