@@ -15,16 +15,19 @@ import (
 
 // frozenFlags is every flag registration in this package's sources, sorted,
 // duplicates included (addBuildFlags registers the shared -dir/-as-of/
-// -degraded/-stale-after once; collect and simulate each have a -seed).
-// Scripts and docs depend on these spellings, so extending igdb's CLI
-// surface means updating this list deliberately.
+// -degraded/-stale-after once; collect, simulate, and loadgen each have a
+// -seed; export and loadgen each have a -o). Scripts and docs depend on
+// these spellings, so extending igdb's CLI surface means updating this
+// list deliberately.
 var frozenFlags = []string{
-	"addr", "as-of", "as-of", "cache-size", "continue-on-error",
-	"degraded", "degraded", "dir", "dir", "dir", "format", "layer",
-	"log-json", "max-concurrency", "max-rows", "o", "pairs", "pprof",
-	"query-log", "rebuild-every", "retries", "scale", "scenarios",
-	"seed", "seed", "simulate-scenarios", "simulate-seed", "slow-query",
-	"stale-after", "stale-after", "timeout", "top", "trace", "workers",
+	"addr", "as-of", "as-of", "cache-size", "concurrency",
+	"continue-on-error", "corpus", "degraded", "degraded", "dir", "dir",
+	"dir", "duration", "follow", "format", "layer", "leader", "log-json",
+	"max-concurrency", "max-rows", "mix", "name", "o", "o", "pairs",
+	"pprof", "query-log", "rebuild-every", "replica-poll", "retries",
+	"scale", "scenarios", "seed", "seed", "seed", "simulate-scenarios",
+	"simulate-seed", "slow-query", "stale-after", "stale-after",
+	"timeout", "top", "trace", "url", "workers",
 }
 
 // frozenLintFlags freezes cmd/igdblint's surface the same way: -bench

@@ -1,0 +1,439 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"igdb/internal/obs"
+	"igdb/internal/render"
+)
+
+// cmdLoadgen replays realistic read traffic against a running igdb server
+// and reports latency percentiles and error rates as JSON. The SQL class
+// replays the harvested query corpus (the go-fuzz seed files under
+// internal/reldb/testdata/fuzz); the export and path classes exercise the
+// streaming GeoJSON and path-inference endpoints. Every corpus query is
+// validated once before the timed run, so a non-2xx response during the
+// run is a server failure, not a bad request.
+func cmdLoadgen(args []string) error {
+	fs := flag.NewFlagSet("loadgen", flag.ExitOnError)
+	target := fs.String("url", "http://localhost:8080", "target server base URL")
+	duration := fs.Duration("duration", 10*time.Second, "timed run length")
+	concurrency := fs.Int("concurrency", 4, "concurrent request workers")
+	corpus := fs.String("corpus", filepath.Join("internal", "reldb", "testdata", "fuzz", "FuzzParseStatement"),
+		"directory of 'go test fuzz v1' seed files holding the SQL corpus")
+	mix := fs.String("mix", "sql=8,export=1,path=1", "traffic mix weights, class=weight (classes: sql, export, path)")
+	name := fs.String("name", "Loadgen", "benchmark name recorded in the report")
+	out := fs.String("o", "", "write the JSON report to this file (default stdout)")
+	seed := fs.Int64("seed", 1, "request-schedule RNG seed")
+	_ = fs.Parse(args)
+
+	weights, err := parseMix(*mix)
+	if err != nil {
+		return err
+	}
+	base := strings.TrimRight(*target, "/")
+	client := &http.Client{Timeout: 15 * time.Second}
+
+	// The target must be up before we attribute anything to it.
+	if err := probeHealthz(client, base); err != nil {
+		return fmt.Errorf("target %s is not serving: %v", base, err)
+	}
+
+	classes, err := prepareClasses(client, base, *corpus, weights)
+	if err != nil {
+		return err
+	}
+	if len(classes) == 0 {
+		return fmt.Errorf("no usable traffic classes (mix %q)", *mix)
+	}
+
+	report := runLoad(client, classes, *concurrency, *duration, *seed)
+	report.Benchmark = *name
+	report.Target = base
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(*out, data, 0o644)
+}
+
+// parseMix parses "sql=8,export=1,path=1" into positive weights.
+func parseMix(mix string) (map[string]int, error) {
+	weights := make(map[string]int)
+	for _, part := range strings.Split(mix, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad -mix entry %q (want class=weight)", part)
+		}
+		w, err := strconv.Atoi(v)
+		if err != nil || w < 0 {
+			return nil, fmt.Errorf("bad -mix weight in %q", part)
+		}
+		switch k {
+		case "sql", "export", "path":
+		default:
+			return nil, fmt.Errorf("unknown -mix class %q (have sql, export, path)", k)
+		}
+		if w > 0 {
+			weights[k] = w
+		}
+	}
+	if len(weights) == 0 {
+		return nil, fmt.Errorf("empty -mix")
+	}
+	return weights, nil
+}
+
+// loadClass is one prepared traffic class: a weight and the concrete
+// requests it cycles through.
+type loadClass struct {
+	name    string
+	weight  int
+	issue   []func(ctx context.Context, c *http.Client) (*http.Request, error)
+	samples []time.Duration
+	errors  int
+}
+
+func getReq(url string) func(ctx context.Context, c *http.Client) (*http.Request, error) {
+	return func(ctx context.Context, c *http.Client) (*http.Request, error) {
+		return http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	}
+}
+
+func sqlReq(url, query string) func(ctx context.Context, c *http.Client) (*http.Request, error) {
+	return func(ctx context.Context, c *http.Client) (*http.Request, error) {
+		return http.NewRequestWithContext(ctx, http.MethodPost, url+"/sql", bytes.NewReader([]byte(query)))
+	}
+}
+
+// prepareClasses validates each requested class against the live target
+// and drops requests the server cannot answer, so the timed run measures
+// server health, not corpus quality.
+func prepareClasses(client *http.Client, base, corpusDir string, weights map[string]int) ([]*loadClass, error) {
+	var classes []*loadClass
+	if w := weights["sql"]; w > 0 {
+		queries, err := readFuzzCorpus(corpusDir)
+		if err != nil {
+			return nil, err
+		}
+		cls := &loadClass{name: "sql", weight: w}
+		dropped := 0
+		for _, q := range queries {
+			if status, err := issueOnce(client, sqlReq(base, q)); err != nil || status != http.StatusOK {
+				dropped++
+				continue
+			}
+			cls.issue = append(cls.issue, sqlReq(base, q))
+		}
+		if len(cls.issue) == 0 {
+			return nil, fmt.Errorf("no corpus query in %s passed validation against %s", corpusDir, base)
+		}
+		logger.Info("sql corpus validated", obs.F("kept", len(cls.issue)), obs.F("dropped", dropped))
+		classes = append(classes, cls)
+	}
+	if w := weights["export"]; w > 0 {
+		cls := &loadClass{name: "export", weight: w}
+		for _, layer := range render.Layers() {
+			req := getReq(base + "/export/" + layer)
+			if status, err := issueOnce(client, req); err == nil && status == http.StatusOK {
+				cls.issue = append(cls.issue, req)
+			}
+		}
+		if len(cls.issue) > 0 {
+			classes = append(classes, cls)
+		} else {
+			logger.Warn("export class dropped: no layer exports cleanly", obs.F("target", base))
+		}
+	}
+	if w := weights["path"]; w > 0 {
+		cls := &loadClass{name: "path", weight: w}
+		pairs, err := discoverPathPairs(client, base)
+		if err != nil {
+			logger.Warn("path class dropped", obs.F("err", err))
+		}
+		for _, p := range pairs {
+			// Metro labels can hold spaces ("Kansas City-US"); escape them.
+			req := getReq(base + "/path?src=" + url.QueryEscape(p[0]) + "&dst=" + url.QueryEscape(p[1]))
+			if status, err := issueOnce(client, req); err == nil && status == http.StatusOK {
+				cls.issue = append(cls.issue, req)
+			}
+		}
+		if len(cls.issue) > 0 {
+			classes = append(classes, cls)
+		}
+	}
+	return classes, nil
+}
+
+// readFuzzCorpus parses every 'go test fuzz v1' seed file in dir and
+// returns the string payloads — the harvested SQL query corpus.
+func readFuzzCorpus(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("reading corpus dir: %v", err)
+	}
+	var queries []string
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		lines := strings.Split(string(data), "\n")
+		if len(lines) == 0 || strings.TrimSpace(lines[0]) != "go test fuzz v1" {
+			continue
+		}
+		for _, line := range lines[1:] {
+			line = strings.TrimSpace(line)
+			if !strings.HasPrefix(line, "string(") || !strings.HasSuffix(line, ")") {
+				continue
+			}
+			q, err := strconv.Unquote(line[len("string(") : len(line)-1])
+			if err != nil {
+				continue
+			}
+			queries = append(queries, q)
+		}
+	}
+	if len(queries) == 0 {
+		return nil, fmt.Errorf("no fuzz-v1 seeds in %s", dir)
+	}
+	return queries, nil
+}
+
+// discoverPathPairs asks the target for std_paths endpoints, whose metro
+// pairs are connected by construction.
+func discoverPathPairs(client *http.Client, base string) ([][2]string, error) {
+	resp, err := client.Post(base+"/sql", "text/plain", strings.NewReader(
+		`SELECT from_metro, from_country, to_metro, to_country FROM std_paths LIMIT 64`))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("std_paths discovery: %s", resp.Status)
+	}
+	var res struct {
+		Rows [][]interface{} `json:"rows"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		return nil, err
+	}
+	var pairs [][2]string
+	for _, row := range res.Rows {
+		if len(row) != 4 {
+			continue
+		}
+		fm, _ := row[0].(string)
+		fc, _ := row[1].(string)
+		tm, _ := row[2].(string)
+		tc, _ := row[3].(string)
+		if fm == "" || fc == "" || tm == "" || tc == "" {
+			continue
+		}
+		pairs = append(pairs, [2]string{fm + "-" + fc, tm + "-" + tc})
+	}
+	if len(pairs) == 0 {
+		return nil, fmt.Errorf("std_paths is empty on %s", base)
+	}
+	return pairs, nil
+}
+
+func probeHealthz(client *http.Client, base string) error {
+	resp, err := client.Get(base + "/healthz")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+	return nil
+}
+
+// issueOnce sends one request and reports the status, draining the body so
+// connections are reused.
+func issueOnce(client *http.Client, mk func(ctx context.Context, c *http.Client) (*http.Request, error)) (int, error) {
+	req, err := mk(context.Background(), client)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode, nil
+}
+
+// classReport is the per-class slice of a load report.
+type classReport struct {
+	Requests int     `json:"requests"`
+	Errors   int     `json:"errors"`
+	P50Ms    float64 `json:"p50_ms"`
+	P99Ms    float64 `json:"p99_ms"`
+	P999Ms   float64 `json:"p999_ms"`
+}
+
+// loadReport is cmdLoadgen's JSON output; scripts/loadgen.sh merges these
+// entries into BENCH_serve.json.
+type loadReport struct {
+	Benchmark   string                 `json:"benchmark"`
+	Target      string                 `json:"target"`
+	DurationS   float64                `json:"duration_s"`
+	Concurrency int                    `json:"concurrency"`
+	Requests    int                    `json:"requests"`
+	Errors      int                    `json:"errors"`
+	ErrorRate   float64                `json:"error_rate"`
+	RPS         float64                `json:"rps"`
+	P50Ms       float64                `json:"p50_ms"`
+	P99Ms       float64                `json:"p99_ms"`
+	P999Ms      float64                `json:"p999_ms"`
+	Classes     map[string]classReport `json:"classes"`
+}
+
+// sample is one completed request: which class, how long, and whether the
+// server failed it (transport error or non-2xx on a pre-validated request).
+type sample struct {
+	class   int
+	elapsed time.Duration
+	failed  bool
+}
+
+// runLoad drives the prepared classes with a worker pool for the given
+// duration and aggregates percentiles.
+func runLoad(client *http.Client, classes []*loadClass, concurrency int, duration time.Duration, seed int64) *loadReport {
+	if concurrency < 1 {
+		concurrency = 1
+	}
+	// Cumulative weights for class selection.
+	total := 0
+	cum := make([]int, len(classes))
+	for i, c := range classes {
+		total += c.weight
+		cum[i] = total
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), duration)
+	defer cancel()
+
+	results := make([][]sample, concurrency)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(w)*7919))
+			for ctx.Err() == nil {
+				ci := 0
+				for pick := rng.Intn(total); ci < len(cum) && pick >= cum[ci]; ci++ {
+				}
+				cls := classes[ci]
+				mk := cls.issue[rng.Intn(len(cls.issue))]
+				t0 := time.Now()
+				req, err := mk(ctx, client)
+				var failed bool
+				if err != nil {
+					failed = true
+				} else {
+					resp, err := client.Do(req)
+					if err != nil {
+						// A request cut off by the run deadline is the
+						// harness stopping, not the server failing.
+						if ctx.Err() != nil {
+							return
+						}
+						failed = true
+					} else {
+						_, _ = io.Copy(io.Discard, resp.Body)
+						resp.Body.Close()
+						failed = resp.StatusCode < 200 || resp.StatusCode > 299
+					}
+				}
+				results[w] = append(results[w], sample{class: ci, elapsed: time.Since(t0), failed: failed})
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []time.Duration
+	errors := 0
+	for _, rs := range results {
+		for _, s := range rs {
+			cls := classes[s.class]
+			cls.samples = append(cls.samples, s.elapsed)
+			if s.failed {
+				cls.errors++
+				errors++
+			}
+			all = append(all, s.elapsed)
+		}
+	}
+	rep := &loadReport{
+		DurationS:   elapsed.Seconds(),
+		Concurrency: concurrency,
+		Requests:    len(all),
+		Errors:      errors,
+		P50Ms:       percentileMs(all, 0.50),
+		P99Ms:       percentileMs(all, 0.99),
+		P999Ms:      percentileMs(all, 0.999),
+		Classes:     make(map[string]classReport, len(classes)),
+	}
+	if len(all) > 0 {
+		rep.ErrorRate = float64(errors) / float64(len(all))
+		rep.RPS = float64(len(all)) / elapsed.Seconds()
+	}
+	for _, c := range classes {
+		rep.Classes[c.name] = classReport{
+			Requests: len(c.samples),
+			Errors:   c.errors,
+			P50Ms:    percentileMs(c.samples, 0.50),
+			P99Ms:    percentileMs(c.samples, 0.99),
+			P999Ms:   percentileMs(c.samples, 0.999),
+		}
+	}
+	return rep
+}
+
+// percentileMs returns the q-th percentile of ds in milliseconds
+// (nearest-rank on the sorted samples; 0 when empty).
+func percentileMs(ds []time.Duration, q float64) float64 {
+	if len(ds) == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, len(ds))
+	copy(sorted, ds)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(q*float64(len(sorted)-1) + 0.5)
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return float64(sorted[idx]) / float64(time.Millisecond)
+}

@@ -34,9 +34,15 @@ func cmdServe(args []string) error {
 	logJSON := fs.Bool("log-json", false, "emit logs as JSON lines instead of key=value text")
 	simScenarios := fs.Int("simulate-scenarios", 0, "run this many what-if failure scenarios against every snapshot after build (0 = off); results serve via POST /sql")
 	simSeed := fs.Int64("simulate-seed", 1, "seed for the snapshot simulation batch")
+	leader := fs.Bool("leader", false, "expose the snapshot as a replication artifact (GET /replica/manifest, GET /replica/chunk/{hash}) for followers")
+	follow := fs.String("follow", "", "run as a replication follower of this leader base URL; snapshots are fetched, never built (-dir not required)")
+	replicaPoll := fs.Duration("replica-poll", 2*time.Second, "follower: period between leader manifest polls")
 	_ = fs.Parse(args)
-	if *dir == "" {
-		return fmt.Errorf("-dir is required")
+	if *dir == "" && *follow == "" {
+		return fmt.Errorf("-dir is required (or -follow LEADER_URL to replicate instead of building)")
+	}
+	if *leader && *follow != "" {
+		return fmt.Errorf("-leader and -follow are mutually exclusive")
 	}
 	if *logJSON {
 		logger.SetJSON(true)
@@ -58,6 +64,10 @@ func cmdServe(args []string) error {
 
 		SimulateScenarios: *simScenarios,
 		SimulateSeed:      *simSeed,
+
+		Leader:      *leader,
+		LeaderURL:   *follow,
+		ReplicaPoll: *replicaPoll,
 	}
 	if *asOf != "" {
 		t, err := time.Parse("2006-01-02", *asOf)
@@ -71,8 +81,19 @@ func cmdServe(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("built snapshot %d in %v; serving on %s\n",
-		srv.SnapshotSeq(), time.Since(t0).Round(time.Millisecond), *addr)
+	if *follow != "" {
+		// A follower may start before its leader is reachable; it serves
+		// 503s on data routes until the first sync lands.
+		if seq := srv.SnapshotSeq(); seq > 0 {
+			fmt.Printf("replicated snapshot %d from %s in %v; serving on %s\n",
+				seq, *follow, time.Since(t0).Round(time.Millisecond), *addr)
+		} else {
+			fmt.Printf("following %s (no snapshot yet); serving on %s\n", *follow, *addr)
+		}
+	} else {
+		fmt.Printf("built snapshot %d in %v; serving on %s\n",
+			srv.SnapshotSeq(), time.Since(t0).Round(time.Millisecond), *addr)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()

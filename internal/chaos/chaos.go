@@ -59,6 +59,10 @@ func (k FaultKind) String() string {
 		return "drop"
 	case TransientFault:
 		return "transient"
+	case StallFault:
+		return "stall"
+	case DownFault:
+		return "down"
 	default:
 		return fmt.Sprintf("fault(%d)", int(k))
 	}

@@ -1,0 +1,208 @@
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+)
+
+// Transport-layer fault kinds, extending the byte-level taxonomy above to
+// the failure shapes an HTTP replication link exhibits: stalled transfers
+// and a peer that is down entirely. Truncate/flip/drop reuse the byte-level
+// kinds — at this layer TruncateFault cuts the response body off
+// mid-transfer (the connection died), FlipFault corrupts bytes in flight
+// (checksums must catch it), and DropFault resets the connection before any
+// byte arrives.
+const (
+	// StallFault blocks the response until the request's context expires,
+	// like a peer that accepted the connection and went silent.
+	StallFault FaultKind = iota + 100
+	// DownFault refuses the connection outright, like a dead peer. Unlike
+	// the one-shot faults it persists until cleared (see Transport.SetDown),
+	// so tests can flap a leader down and back up.
+	DownFault
+)
+
+// Stall blocks one matching request until its context expires.
+func Stall(urlSubstr string) Fault { return Fault{Kind: StallFault, File: urlSubstr} }
+
+// TruncateBody cuts one matching response body off mid-transfer.
+func TruncateBody(urlSubstr string) Fault { return Fault{Kind: TruncateFault, File: urlSubstr} }
+
+// FlipBody flips n random bytes of one matching response body in flight.
+func FlipBody(urlSubstr string, n int) Fault { return Fault{Kind: FlipFault, File: urlSubstr, N: n} }
+
+// DropConn resets one matching connection before any response byte arrives.
+func DropConn(urlSubstr string) Fault { return Fault{Kind: DropFault, File: urlSubstr} }
+
+// Transport is a fault-injecting http.RoundTripper: the replication-layer
+// sibling of Store. It wraps any transport (nil means
+// http.DefaultTransport) and corrupts responses in flight with seeded,
+// reproducible randomness. Faults injected with Inject are one-shot and
+// FIFO: each matching request consumes the oldest applicable fault. SetDown
+// models a peer that is entirely unreachable until brought back up.
+//
+// Transport is safe for concurrent use.
+type Transport struct {
+	inner http.RoundTripper
+	seed  int64
+
+	mu    sync.Mutex
+	queue []Fault // guarded by mu; one-shot, consumed FIFO
+	down  bool    // guarded by mu
+	n     uint64  // guarded by mu; request counter, keys the per-fault RNG
+
+	// Injected counts faults actually consumed (observability for tests
+	// and the chaos acceptance matrix).
+	injected map[FaultKind]int // guarded by mu
+}
+
+// NewTransport wraps inner (nil = http.DefaultTransport) with a fault
+// injector seeded by seed.
+func NewTransport(inner http.RoundTripper, seed int64) *Transport {
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	return &Transport{inner: inner, seed: seed, injected: make(map[FaultKind]int)}
+}
+
+// Inject queues one-shot transport faults; each is consumed by the first
+// subsequent request whose URL contains the fault's File substring ("" =
+// any request).
+func (t *Transport) Inject(faults ...Fault) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.queue = append(t.queue, faults...)
+}
+
+// SetDown switches the peer-down state: while down, every request fails
+// with a connection-refused error. Flapping a leader is SetDown(true)
+// followed by SetDown(false).
+func (t *Transport) SetDown(down bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.down = down
+}
+
+// Clear removes every queued fault and clears the down state.
+func (t *Transport) Clear() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.queue = nil
+	t.down = false
+}
+
+// Consumed reports how many faults of one kind have fired.
+func (t *Transport) Consumed(kind FaultKind) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.injected[kind]
+}
+
+// next pops the oldest fault matching the URL, if any, and returns the
+// request's RNG key.
+func (t *Transport) next(url string) (Fault, uint64, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.n++
+	if t.down {
+		t.injected[DownFault]++
+		return Fault{Kind: DownFault}, t.n, true
+	}
+	for i, f := range t.queue {
+		if f.File != "" && !contains(url, f.File) {
+			continue
+		}
+		t.queue = append(t.queue[:i:i], t.queue[i+1:]...)
+		t.injected[f.Kind]++
+		return f, t.n, true
+	}
+	return Fault{}, t.n, false
+}
+
+func contains(s, substr string) bool { return strings.Contains(s, substr) }
+
+// rng derives the deterministic generator for one injected fault.
+func (t *Transport) rng(url string, n uint64) *rand.Rand {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s|%d", t.seed, url, n)
+	return rand.New(rand.NewSource(int64(h.Sum64())))
+}
+
+// RoundTrip applies at most one queued fault to the request.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	url := req.URL.String()
+	f, n, ok := t.next(url)
+	if !ok {
+		return t.inner.RoundTrip(req)
+	}
+	switch f.Kind {
+	case DownFault:
+		return nil, fmt.Errorf("chaos: dial %s: connection refused (peer down)", req.URL.Host)
+	case DropFault:
+		return nil, fmt.Errorf("chaos: read %s: connection reset by peer", req.URL.Host)
+	case StallFault:
+		// The peer accepted and went silent: block until the caller's
+		// deadline or cancellation fires.
+		<-req.Context().Done()
+		return nil, fmt.Errorf("chaos: stalled transfer from %s: %w", req.URL.Host, req.Context().Err())
+	}
+	resp, err := t.inner.RoundTrip(req)
+	if err != nil {
+		return resp, err
+	}
+	body, err := io.ReadAll(resp.Body)
+	closeErr := resp.Body.Close()
+	if err != nil || closeErr != nil {
+		// The real transfer failed underneath the injector; report that.
+		if err == nil {
+			err = closeErr
+		}
+		return nil, err
+	}
+	rng := t.rng(url, n)
+	switch f.Kind {
+	case TruncateFault:
+		if len(body) > 1 {
+			cut := 1 + rng.Intn(len(body)-1)
+			resp.Body = &brokenBody{data: body[:cut]}
+			return resp, nil
+		}
+		resp.Body = &brokenBody{}
+		return resp, nil
+	case FlipFault:
+		nflips := f.N
+		if nflips <= 0 {
+			nflips = 1 + len(body)/256
+		}
+		for i := 0; i < nflips && len(body) > 0; i++ {
+			body[rng.Intn(len(body))] ^= byte(1 + rng.Intn(255))
+		}
+	}
+	resp.Body = io.NopCloser(bytes.NewReader(body))
+	resp.ContentLength = int64(len(body))
+	return resp, nil
+}
+
+// brokenBody yields its prefix bytes and then fails the read the way a
+// connection that died mid-transfer does.
+type brokenBody struct {
+	data []byte
+	pos  int
+}
+
+func (b *brokenBody) Read(p []byte) (int, error) {
+	if b.pos >= len(b.data) {
+		return 0, io.ErrUnexpectedEOF
+	}
+	n := copy(p, b.data[b.pos:])
+	b.pos += n
+	return n, nil
+}
+
+func (b *brokenBody) Close() error { return nil }

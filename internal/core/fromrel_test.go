@@ -1,0 +1,146 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"igdb/internal/geo"
+	"igdb/internal/ingest"
+	"igdb/internal/reldb"
+	"igdb/internal/worldgen"
+)
+
+// rebuildFromRelations round-trips a built database through the relation
+// codec — exactly what a replication follower does — and reconstructs it.
+func rebuildFromRelations(t *testing.T, g *IGDB) *IGDB {
+	t.Helper()
+	replica := reldb.New()
+	for _, ddl := range SchemaDDL {
+		if _, err := replica.Exec(ddl); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, name := range g.Rel.TableNames() {
+		dec, err := reldb.DecodeTable(reldb.EncodeTable(g.Rel.Table(name)))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := replica.BulkInsert(dec.Name, dec.Rows); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	r, err := FromRelations(replica, g.AsOf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestFromRelationsReconstruction(t *testing.T) {
+	w := worldgen.Generate(worldgen.SmallConfig())
+	store := ingest.NewStore("")
+	if err := ingest.Collect(w, store, time.Unix(1780000000, 0).UTC()); err != nil {
+		t.Fatal(err)
+	}
+	g, err := Build(store, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rebuildFromRelations(t, g)
+
+	if len(r.Cities) != len(g.Cities) {
+		t.Fatalf("cities = %d, want %d", len(r.Cities), len(g.Cities))
+	}
+	for i, c := range g.Cities {
+		if r.Cities[i] != c {
+			t.Fatalf("city %d = %+v, want %+v", i, r.Cities[i], c)
+		}
+		if got := r.CityIndex(c.Name, c.State, c.Country); got != i {
+			t.Fatalf("CityIndex(%s) = %d, want %d", c.Key(), got, i)
+		}
+	}
+
+	// The spatial join must survive the trip: every city standardizes to
+	// itself, and an off-grid probe point agrees with the original tree.
+	for i, c := range g.Cities {
+		if got := r.Standardize(c.Loc); got != i {
+			t.Errorf("Standardize(%s) = %d, want %d", c.Key(), got, i)
+		}
+	}
+	probe := geo.Point{Lon: 1.234, Lat: 5.678}
+	if got, want := r.Standardize(probe), g.Standardize(probe); got != want {
+		t.Errorf("probe standardized to %d, want %d", got, want)
+	}
+
+	// Relation cardinality and a representative join must match.
+	for _, name := range g.Rel.TableNames() {
+		if got, want := r.Rel.Table(name).Len(), g.Rel.Table(name).Len(); got != want {
+			t.Errorf("%s: %d rows, want %d", name, got, want)
+		}
+	}
+	const q = `SELECT l.asn, COUNT(DISTINCT l.country) AS countries
+		FROM asn_loc l JOIN asn_org o ON o.asn = l.asn
+		GROUP BY l.asn ORDER BY countries DESC, l.asn ASC LIMIT 5`
+	want := g.Rel.MustQuery(q)
+	got := r.Rel.MustQuery(q)
+	if got.Len() != want.Len() {
+		t.Fatalf("join rows = %d, want %d", got.Len(), want.Len())
+	}
+	for i := range want.Rows {
+		for j := range want.Rows[i] {
+			if want.Rows[i][j].String() != got.Rows[i][j].String() {
+				t.Errorf("join row %d col %d = %v, want %v", i, j, got.Rows[i][j], want.Rows[i][j])
+			}
+		}
+	}
+
+	// The path network must reconstruct: same shortest practical path for
+	// every connected pair among the first few cities.
+	pairs := 0
+	for a := 0; a < len(g.Cities) && pairs < 20; a++ {
+		for b := a + 1; b < len(g.Cities) && pairs < 20; b++ {
+			wc, wkm, wok := g.Paths.ShortestPracticalPath(a, b)
+			gc, gkm, gok := r.Paths.ShortestPracticalPath(a, b)
+			if wok != gok {
+				t.Fatalf("path %d-%d: ok=%v, want %v", a, b, gok, wok)
+			}
+			if !wok {
+				continue
+			}
+			pairs++
+			if len(wc) != len(gc) || wkm != gkm {
+				t.Errorf("path %d-%d: %v (%.1f km), want %v (%.1f km)", a, b, gc, gkm, wc, wkm)
+			}
+		}
+	}
+	if pairs == 0 {
+		t.Fatal("no connected city pairs; path-network reconstruction untested")
+	}
+
+	// METRO_DIST works against the reconstructed gazetteer.
+	metro := g.Cities[0].Metro()
+	rows := r.Rel.MustQuery(`SELECT METRO_DIST('` + metro + `', '` + metro + `') FROM city_points LIMIT 1`)
+	if d, ok := rows.Rows[0][0].AsFloat(); !ok || d != 0 {
+		t.Errorf("METRO_DIST(self) = %v, want 0", rows.Rows[0][0])
+	}
+
+	// Provenance survives.
+	if len(r.SourceStatus) != len(g.SourceStatus) {
+		t.Fatalf("source status = %d entries, want %d", len(r.SourceStatus), len(g.SourceStatus))
+	}
+	for i, st := range g.SourceStatus {
+		if r.SourceStatus[i].Source != st.Source || r.SourceStatus[i].Status != st.Status ||
+			r.SourceStatus[i].RowsLoaded != st.RowsLoaded {
+			t.Errorf("source %d = %+v, want %+v", i, r.SourceStatus[i], st)
+		}
+	}
+	if r.Degraded() != g.Degraded() {
+		t.Errorf("Degraded() = %v, want %v", r.Degraded(), g.Degraded())
+	}
+}
+
+func TestFromRelationsRequiresCityPoints(t *testing.T) {
+	if _, err := FromRelations(reldb.New(), time.Time{}); err == nil {
+		t.Fatal("expected an error for a database without city_points")
+	}
+}

@@ -1,0 +1,137 @@
+// Package replicate implements iGDB's snapshot replication protocol: the
+// leader exposes each built snapshot as an immutable, content-addressed
+// artifact — a manifest plus per-relation chunks, each named by the SHA-256
+// of its bytes — and followers poll the manifest, fetch chunks with
+// per-chunk retry and jittered backoff, verify every checksum, and
+// reconstruct a servable database that their server swaps in atomically.
+//
+// The protocol is pull-only and stateless on the leader: followers carry
+// all the retry and verification logic, so a leader is just two GET
+// endpoints over an in-memory artifact. Content addressing makes the
+// transfer self-verifying — a chunk either hashes to its manifest entry or
+// the whole sync is quarantined and the follower keeps serving its last
+// good snapshot (the same degraded-mode philosophy the build pipeline
+// applies to bad sources, one layer up).
+//
+// Artifact layout:
+//
+//	GET /replica/manifest      → Manifest (JSON): seq, build times, chunk list
+//	GET /replica/chunk/{sha}   → raw chunk bytes, addressed by content hash
+//
+// Chunk kinds:
+//
+//   - "relation": one reldb table in the binary codec (reldb.EncodeTable);
+//     the full set reconstructs the SQL surface and, via
+//     core.FromRelations, the gazetteer and path network.
+//   - "source": one raw file of a measurement-side ingest snapshot
+//     (routeviews, rdns, ripeatlas), so followers can train the §4.2 paths
+//     pipeline locally and serve /path too. A follower that cannot build
+//     the pipeline still serves everything else, degraded — never nothing.
+package replicate
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// FormatVersion is bumped on any incompatible manifest or chunk layout
+// change; followers refuse manifests they do not understand rather than
+// guessing.
+const FormatVersion = 1
+
+// HTTP paths of the replication surface.
+const (
+	// ManifestPath serves the current snapshot's manifest.
+	ManifestPath = "/replica/manifest"
+	// ChunkPathPrefix precedes the hex SHA-256 of a chunk.
+	ChunkPathPrefix = "/replica/chunk/"
+)
+
+// PipelineSources are the measurement-side sources replicated as raw
+// chunks so followers can train the paths pipeline without a snapshot
+// store of their own (mirrors what paths.NewPipeline reads).
+var PipelineSources = []string{"routeviews", "rdns", "ripeatlas"}
+
+// Chunk kinds.
+const (
+	// KindRelation chunks hold one encoded reldb table.
+	KindRelation = "relation"
+	// KindSource chunks hold one raw file of a measurement-source snapshot.
+	KindSource = "source"
+)
+
+// ChunkRef is one chunk's manifest entry. The SHA256 doubles as its
+// address: a fetched chunk that does not hash to it is discarded.
+type ChunkRef struct {
+	Kind string `json:"kind"` // KindRelation | KindSource
+	// Name is the relation name, or the source name for KindSource.
+	Name string `json:"name"`
+	// File is the file name within the source snapshot (KindSource only).
+	File   string `json:"file,omitempty"`
+	SHA256 string `json:"sha256"`
+	Bytes  int    `json:"bytes"`
+	// Rows is the relation's cardinality (KindRelation only); the follower
+	// cross-checks it after decoding.
+	Rows int `json:"rows,omitempty"`
+	// SourceAsOf is the source snapshot's acquisition time (KindSource
+	// only), preserved so the follower's store reports honest timestamps.
+	SourceAsOf time.Time `json:"source_as_of,omitempty"`
+}
+
+// Manifest describes one immutable snapshot artifact.
+type Manifest struct {
+	FormatVersion int `json:"format_version"`
+	// Seq is the leader's snapshot sequence number; followers adopt it so
+	// lag is directly comparable across the pair.
+	Seq uint64 `json:"seq"`
+	// BuiltAt is when the leader built the snapshot (replica lag is
+	// measured against it).
+	BuiltAt time.Time `json:"built_at"`
+	// AsOf is the build's snapshot-selection pin (zero = newest).
+	AsOf       time.Time  `json:"as_of,omitempty"`
+	Chunks     []ChunkRef `json:"chunks"`
+	TotalBytes int64      `json:"total_bytes"`
+}
+
+// Validate rejects manifests this follower cannot safely apply.
+func (m *Manifest) Validate() error {
+	if m.FormatVersion != FormatVersion {
+		return fmt.Errorf("replicate: manifest format %d not supported (want %d)", m.FormatVersion, FormatVersion)
+	}
+	if len(m.Chunks) == 0 {
+		return fmt.Errorf("replicate: manifest for snapshot %d has no chunks", m.Seq)
+	}
+	for _, c := range m.Chunks {
+		if len(c.SHA256) != sha256.Size*2 {
+			return fmt.Errorf("replicate: chunk %s/%s: bad sha256 %q", c.Kind, c.Name, c.SHA256)
+		}
+		if c.Kind != KindRelation && c.Kind != KindSource {
+			return fmt.Errorf("replicate: chunk %s: unknown kind %q", c.Name, c.Kind)
+		}
+	}
+	return nil
+}
+
+// EncodeJSON renders the manifest.
+func (m *Manifest) EncodeJSON() ([]byte, error) { return json.Marshal(m) }
+
+// DecodeManifest parses and validates a manifest document.
+func DecodeManifest(data []byte) (*Manifest, error) {
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("replicate: bad manifest: %v", err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// HashChunk returns the hex SHA-256 content address of a chunk.
+func HashChunk(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}

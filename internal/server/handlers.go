@@ -416,7 +416,7 @@ type sourceHealth struct {
 
 // healthReport is the GET /healthz body.
 type healthReport struct {
-	Status          string         `json:"status"` // ok | degraded | stale
+	Status          string         `json:"status"` // ok | degraded | stale | syncing
 	Degraded        bool           `json:"degraded"`
 	Stale           bool           `json:"stale"`
 	SnapshotSeq     uint64         `json:"snapshot_seq"`
@@ -428,6 +428,23 @@ type healthReport struct {
 	PathsPipeline   string         `json:"paths_pipeline"` // "ok" or the failure
 	LastRebuildErr  string         `json:"last_rebuild_error,omitempty"`
 	LastRebuildUnix int64          `json:"last_rebuild_unix,omitempty"`
+
+	// Replication topology. Role is always present; the rest only when this
+	// server is a follower.
+	Role string `json:"role"` // standalone | leader | follower
+	// LeaderURL is the leader this follower replicates from.
+	LeaderURL string `json:"leader_url,omitempty"`
+	// LeaderSeq is the newest snapshot seq the leader has advertised.
+	LeaderSeq uint64 `json:"leader_seq,omitempty"`
+	// ReplicaLagS is seconds between the leader building the serving
+	// snapshot and now; -1 before the first successful sync.
+	ReplicaLagS float64 `json:"replica_lag_s,omitempty"`
+	// LastFetchErr is the most recent failed poll or transfer — it names
+	// the fault (checksum mismatch, connection refused, deadline, ...).
+	// Empty after a successful sync.
+	LastFetchErr string `json:"last_fetch_error,omitempty"`
+	// LastFetchUnix is when the last successful sync finished.
+	LastFetchUnix int64 `json:"last_fetch_unix,omitempty"`
 }
 
 // staleCutoff is the snapshot age past which /healthz reports "stale":
@@ -450,17 +467,42 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	snap := s.current()
 	s.stateMu.Lock()
 	lastErr, lastAt := s.lastRebuildErr, s.lastRebuildAt
+	repl := s.repl
 	s.stateMu.Unlock()
+	role := s.Role()
 
-	age := time.Since(snap.builtAt)
 	rep := healthReport{
 		Status:        "ok",
-		SnapshotSeq:   snap.seq,
-		SnapshotAgeS:  age.Seconds(),
-		BuildMs:       float64(snap.buildTime) / float64(time.Millisecond),
-		Tables:        len(snap.g.Rel.TableNames()),
-		Quarantined:   snap.g.QuarantinedSources(),
 		PathsPipeline: "ok",
+		Role:          string(role),
+		LeaderURL:     s.cfg.LeaderURL,
+		LeaderSeq:     repl.leaderSeq,
+		LastFetchErr:  repl.lastErr,
+	}
+	if !repl.lastSyncAt.IsZero() {
+		rep.LastFetchUnix = repl.lastSyncAt.Unix()
+	}
+	if snap == nil {
+		// A follower before its first successful sync: nothing to serve,
+		// but the report says exactly why.
+		rep.Status = "syncing"
+		rep.Degraded = true
+		rep.PathsPipeline = "no snapshot yet"
+		rep.ReplicaLagS = -1
+		writeJSON(w, http.StatusOK, rep)
+		return
+	}
+
+	age := time.Since(snap.builtAt)
+	rep.SnapshotSeq = snap.seq
+	rep.SnapshotAgeS = age.Seconds()
+	rep.BuildMs = float64(snap.buildTime) / float64(time.Millisecond)
+	rep.Tables = len(snap.g.Rel.TableNames())
+	rep.Quarantined = snap.g.QuarantinedSources()
+	if role == RoleFollower {
+		// The serving snapshot's builtAt is the leader's build instant, so
+		// its age IS the replica lag.
+		rep.ReplicaLagS = age.Seconds()
 	}
 	for _, st := range snap.g.SourceStatus {
 		sh := sourceHealth{
@@ -485,7 +527,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		rep.Stale = true
 		rep.Status = "stale"
 	}
-	if snap.g.Degraded() || snap.pipe == nil || lastErr != nil {
+	if snap.g.Degraded() || snap.pipe == nil || lastErr != nil || repl.lastErr != "" {
 		rep.Degraded = true
 		rep.Status = "degraded"
 	}
@@ -494,22 +536,25 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 // handleMetrics serves GET /metrics in Prometheus text format.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	snap := s.current()
-	degraded := 0
-	if snap.g.Degraded() || snap.pipe == nil || s.LastRebuildError() != nil {
-		degraded = 1
+	g := snapGauges{
+		collectRetries: ingest.RetriesTotal(),
+		repl:           s.replicaGauges(),
+	}
+	if snap := s.current(); snap != nil {
+		if snap.g.Degraded() || snap.pipe == nil || s.LastRebuildError() != nil {
+			g.degraded = 1
+		}
+		g.seq = snap.seq
+		g.age = time.Since(snap.builtAt)
+		g.buildTime = snap.buildTime
+		g.quarantined = len(snap.g.QuarantinedSources())
+		g.sources = snap.g.SourceStatus
+		g.stages = snap.g.BuildTrace.Stages()
+		g.simScenarios = snap.simCount
+		g.simTime = snap.simTime
+	} else {
+		g.degraded = 1 // a follower with nothing to serve is degraded by definition
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.metrics.WriteTo(w, snapGauges{
-		seq:            snap.seq,
-		age:            time.Since(snap.builtAt),
-		buildTime:      snap.buildTime,
-		degraded:       degraded,
-		quarantined:    len(snap.g.QuarantinedSources()),
-		sources:        snap.g.SourceStatus,
-		stages:         snap.g.BuildTrace.Stages(),
-		collectRetries: ingest.RetriesTotal(),
-		simScenarios:   snap.simCount,
-		simTime:        snap.simTime,
-	})
+	s.metrics.WriteTo(w, g)
 }

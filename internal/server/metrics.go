@@ -44,12 +44,18 @@ type Metrics struct {
 
 	rebuilds      atomic.Uint64
 	rebuildErrors atomic.Uint64
-	simScenarios  atomic.Uint64 // what-if scenarios evaluated across all snapshots
-	simErrors     atomic.Uint64 // snapshot simulation batches that failed
-	panics        atomic.Uint64
-	rejected      atomic.Uint64 // limiter/timeout rejections (503/504)
-	slowQueries   atomic.Uint64 // /sql statements over the slow-query threshold
-	inflight      atomic.Int64
+
+	replFetches      atomic.Uint64 // snapshot transfers attempted (manifest obtained)
+	replFetchErrors  atomic.Uint64 // failed polls and failed transfers
+	replQuarantined  atomic.Uint64 // transfers discarded before serving (corrupt/partial)
+	replChunkRetries atomic.Uint64 // per-chunk retry sleeps across all transfers
+	replBytes        atomic.Uint64 // verified chunk bytes installed
+	simScenarios     atomic.Uint64 // what-if scenarios evaluated across all snapshots
+	simErrors        atomic.Uint64 // snapshot simulation batches that failed
+	panics           atomic.Uint64
+	rejected         atomic.Uint64 // limiter/timeout rejections (503/504)
+	slowQueries      atomic.Uint64 // /sql statements over the slow-query threshold
+	inflight         atomic.Int64
 }
 
 func newMetrics() *Metrics {
@@ -114,6 +120,28 @@ type snapGauges struct {
 	collectRetries uint64
 	simScenarios   int           // scenarios simulated against the serving snapshot
 	simTime        time.Duration // wall time of that simulation batch
+	repl           replGauges    // replication role, lag, and leader seq
+}
+
+// replGauges is the point-in-time replication state sampled at scrape time.
+type replGauges struct {
+	role       Role
+	leaderSeq  uint64
+	lastSyncAt time.Time
+	lastErr    string
+	lagS       float64 // follower: seconds behind the leader's build; -1 before first sync
+}
+
+// num renders the role as a stable gauge value.
+func (g replGauges) num() int {
+	switch g.role {
+	case RoleLeader:
+		return 1
+	case RoleFollower:
+		return 2
+	default:
+		return 0
+	}
 }
 
 // help emits the HELP/TYPE header for one metric. Every exposed metric name
@@ -216,6 +244,23 @@ func (m *Metrics) WriteTo(w io.Writer, g snapGauges) {
 	fmt.Fprintf(w, "igdb_simulate_snapshot_scenarios %d\n", g.simScenarios)
 	help(w, "igdb_simulate_snapshot_seconds", "gauge", "Wall time of the serving snapshot's simulation batch.")
 	fmt.Fprintf(w, "igdb_simulate_snapshot_seconds %g\n", g.simTime.Seconds())
+
+	help(w, "igdb_replica_role", "gauge", "Replication role: 0 standalone, 1 leader, 2 follower.")
+	fmt.Fprintf(w, "igdb_replica_role %d\n", g.repl.num())
+	help(w, "igdb_replica_fetches_total", "counter", "Snapshot transfers attempted by this follower.")
+	fmt.Fprintf(w, "igdb_replica_fetches_total %d\n", m.replFetches.Load())
+	help(w, "igdb_replica_fetch_errors_total", "counter", "Failed leader polls and failed snapshot transfers.")
+	fmt.Fprintf(w, "igdb_replica_fetch_errors_total %d\n", m.replFetchErrors.Load())
+	help(w, "igdb_replica_quarantined_total", "counter", "Snapshot transfers discarded before serving (corrupt, partial, or undecodable).")
+	fmt.Fprintf(w, "igdb_replica_quarantined_total %d\n", m.replQuarantined.Load())
+	help(w, "igdb_replica_chunk_retries_total", "counter", "Per-chunk fetch retries across all snapshot transfers.")
+	fmt.Fprintf(w, "igdb_replica_chunk_retries_total %d\n", m.replChunkRetries.Load())
+	help(w, "igdb_replica_bytes_total", "counter", "Verified chunk bytes installed by this follower.")
+	fmt.Fprintf(w, "igdb_replica_bytes_total %d\n", m.replBytes.Load())
+	help(w, "igdb_replica_lag_seconds", "gauge", "Follower: seconds between the leader building the serving snapshot and now; -1 before the first sync, 0 when not a follower.")
+	fmt.Fprintf(w, "igdb_replica_lag_seconds %g\n", g.repl.lagS)
+	help(w, "igdb_replica_leader_seq", "gauge", "Newest snapshot seq the leader has advertised to this follower.")
+	fmt.Fprintf(w, "igdb_replica_leader_seq %d\n", g.repl.leaderSeq)
 
 	help(w, "igdb_source_load_seconds", "gauge", "Per-source load wall time in the serving snapshot's build.")
 	for _, st := range g.sources {

@@ -112,6 +112,15 @@ func (s *Server) wrap(route string, limited bool, h http.HandlerFunc) http.Handl
 		r = r.WithContext(ctx)
 
 		if limited {
+			// Data routes need a snapshot; a follower that has never synced
+			// has none yet. Control routes (/healthz, /metrics,
+			// /admin/rebuild) stay up so the condition is observable and
+			// fixable.
+			if s.fetcher != nil && s.current() == nil {
+				writeError(sw, http.StatusServiceUnavailable,
+					"no snapshot yet: replication from %s has not succeeded", s.cfg.LeaderURL)
+				return
+			}
 			select {
 			case s.sem <- struct{}{}:
 				defer func() { <-s.sem }()
@@ -137,6 +146,12 @@ func (s *Server) routes() {
 	s.mux.Handle("GET /healthz", s.wrap("/healthz", false, s.handleHealthz))
 	s.mux.Handle("GET /metrics", s.wrap("/metrics", false, s.handleMetrics))
 	s.mux.Handle("GET /debug/queries", s.wrap("/debug/queries", false, s.handleQueryLog))
+	if s.cfg.Leader {
+		// Replication traffic is exempt from the query limiter: a saturated
+		// query tier must not starve followers into staleness.
+		s.mux.Handle("GET /replica/manifest", s.wrap("/replica/manifest", false, s.handleReplicaManifest))
+		s.mux.Handle("GET /replica/chunk/{hash}", s.wrap("/replica/chunk", false, s.handleReplicaChunk))
+	}
 	if s.cfg.EnablePprof {
 		// The pprof handlers manage their own output; they bypass wrap so
 		// profiles are not distorted by the request timeout.

@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -36,6 +37,7 @@ import (
 	"igdb/internal/obs"
 	"igdb/internal/paths"
 	"igdb/internal/reldb"
+	"igdb/internal/replicate"
 	"igdb/internal/simulate"
 )
 
@@ -99,6 +101,29 @@ type Config struct {
 	// SimulateSeed seeds the scenario generator (default 1); the same
 	// store and seed produce identical scenario relations on every rebuild.
 	SimulateSeed int64
+	// Leader exposes the replication surface (GET /replica/manifest and
+	// GET /replica/chunk/{hash}) so followers can sync from this server.
+	Leader bool
+	// LeaderURL makes this server a follower of that leader: it builds
+	// nothing locally — snapshots arrive by replication, are verified
+	// chunk-by-chunk, and swap in atomically. Data routes answer 503 until
+	// the first successful sync. Dir and Store are not required.
+	LeaderURL string
+	// ReplicaPoll is the follower's manifest poll period (default 2s).
+	ReplicaPoll time.Duration
+	// ReplicaTimeout bounds one whole sync — manifest poll plus every
+	// chunk fetch (default 30s). A stalled leader connection is abandoned
+	// at this deadline and the follower keeps its last good snapshot.
+	ReplicaTimeout time.Duration
+	// ReplicaClient overrides the follower's HTTP client; chaos tests
+	// inject fault-injecting transports here. Nil means a default client.
+	ReplicaClient *http.Client
+	// ReadHeaderTimeout, ReadTimeout, and IdleTimeout configure the
+	// http.Server started by Run (defaults 10s, 30s, 120s). Explicit
+	// timeouts keep a slow-loris client from pinning connections forever.
+	ReadHeaderTimeout time.Duration
+	ReadTimeout       time.Duration
+	IdleTimeout       time.Duration
 }
 
 func (c *Config) fillDefaults() {
@@ -119,6 +144,21 @@ func (c *Config) fillDefaults() {
 	}
 	if c.QueryLogSize <= 0 {
 		c.QueryLogSize = 128
+	}
+	if c.ReplicaPoll <= 0 {
+		c.ReplicaPoll = 2 * time.Second
+	}
+	if c.ReplicaTimeout <= 0 {
+		c.ReplicaTimeout = 30 * time.Second
+	}
+	if c.ReadHeaderTimeout <= 0 {
+		c.ReadHeaderTimeout = 10 * time.Second
+	}
+	if c.ReadTimeout <= 0 {
+		c.ReadTimeout = 30 * time.Second
+	}
+	if c.IdleTimeout <= 0 {
+		c.IdleTimeout = 120 * time.Second
 	}
 }
 
@@ -148,6 +188,12 @@ type snapshot struct {
 	simTime   time.Duration // wall time of that simulation batch
 	plans     *lruCache[*reldb.Stmt]
 	results   *lruCache[*sqlResult]
+
+	// The replication artifact is rendered lazily, once, by the first
+	// follower poll; see snapshot.artifact.
+	artOnce sync.Once
+	art     *replicate.Artifact
+	artErr  error
 }
 
 // Server serves a built iGDB over HTTP.
@@ -163,20 +209,33 @@ type Server struct {
 	qlog    *queryLog
 	slowMin time.Duration // threshold for the slow-query log; 0 records all
 
-	// rebuildMu serializes rebuilds (and the store reload inside them).
+	// fetcher pulls snapshots from the leader (followers only).
+	fetcher *replicate.Fetcher
+
+	// rebuildMu serializes rebuilds and replication syncs (and the store
+	// reload inside rebuilds).
 	rebuildMu sync.Mutex
 
-	// stateMu guards the last-rebuild outcome reported by /healthz.
+	// stateMu guards the last-rebuild outcome reported by /healthz and the
+	// follower's replication bookkeeping.
 	stateMu        sync.Mutex
 	lastRebuildErr error
 	lastRebuildAt  time.Time
+	repl           replState
 }
 
 // New loads the store, builds the first snapshot, and wires the routes.
+// A follower (cfg.LeaderURL set) builds nothing: it attempts one initial
+// sync from the leader and starts serving 503s on data routes until a sync
+// succeeds — a leader that is down at follower startup is an expected,
+// recoverable condition, not a construction error.
 func New(cfg Config) (*Server, error) {
 	cfg.fillDefaults()
+	if cfg.Leader && cfg.LeaderURL != "" {
+		return nil, fmt.Errorf("server: Leader and LeaderURL are mutually exclusive")
+	}
 	store := cfg.Store
-	if store == nil {
+	if store == nil && cfg.LeaderURL == "" {
 		if cfg.Dir == "" {
 			return nil, fmt.Errorf("server: Dir or Store is required")
 		}
@@ -200,6 +259,20 @@ func New(cfg Config) (*Server, error) {
 		logger:  cfg.resolveLogger(),
 		qlog:    newQueryLog(cfg.QueryLogSize),
 		slowMin: slowMin,
+	}
+	if cfg.LeaderURL != "" {
+		s.fetcher = &replicate.Fetcher{
+			LeaderURL: strings.TrimRight(cfg.LeaderURL, "/"),
+			Client:    cfg.ReplicaClient,
+			Logger:    s.logger,
+			Seed:      1,
+		}
+		if _, _, err := s.syncFromLeader(context.Background()); err != nil {
+			s.logger.Warn("initial replication sync failed; data routes serve 503 until the leader is reachable",
+				obs.F("leader", cfg.LeaderURL), obs.F("err", err))
+		}
+		s.routes()
+		return s, nil
 	}
 	snap, err := s.buildSnapshot()
 	if err != nil {
@@ -291,8 +364,14 @@ func (s *Server) simulateSnapshot(g *core.IGDB) (int, time.Duration) {
 // Rebuild re-reads the store directory (picking up snapshots collected
 // since startup), builds a fresh database, and atomically swaps it in.
 // Readers are never blocked: they keep the old snapshot until the swap.
-// Returns the new snapshot's sequence number and build duration.
+// Returns the new snapshot's sequence number and build duration. On a
+// follower "rebuild" means one synchronous sync from the leader.
 func (s *Server) Rebuild() (uint64, time.Duration, error) {
+	if s.fetcher != nil {
+		t0 := time.Now()
+		seq, _, err := s.syncFromLeader(context.Background())
+		return seq, time.Since(t0), err
+	}
 	s.rebuildMu.Lock()
 	defer s.rebuildMu.Unlock()
 	// Pick up store snapshots that appeared on disk since the last load
@@ -353,8 +432,9 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Metrics exposes the server's counters (for tests and embedding).
 func (s *Server) Metrics() *Metrics { return s.metrics }
 
-// SnapshotSeq returns the serving snapshot's sequence number.
-func (s *Server) SnapshotSeq() uint64 { return s.current().seq }
+// SnapshotSeq returns the serving snapshot's sequence number (0 on a
+// follower that has not completed its first sync).
+func (s *Server) SnapshotSeq() uint64 { return s.servingSeq() }
 
 // Run serves until ctx is cancelled, then drains connections gracefully.
 // When cfg.RebuildEvery > 0 a background ticker re-ingests and swaps the
@@ -363,9 +443,14 @@ func (s *Server) Run(ctx context.Context) error {
 	httpSrv := &http.Server{
 		Addr:              s.cfg.Addr,
 		Handler:           s.Handler(),
-		ReadHeaderTimeout: 10 * time.Second,
+		ReadHeaderTimeout: s.cfg.ReadHeaderTimeout,
+		ReadTimeout:       s.cfg.ReadTimeout,
+		IdleTimeout:       s.cfg.IdleTimeout,
 	}
-	if s.cfg.RebuildEvery > 0 {
+	if s.fetcher != nil {
+		go s.pollLeader(ctx)
+	}
+	if s.cfg.RebuildEvery > 0 && s.fetcher == nil {
 		go func() {
 			tick := time.NewTicker(s.cfg.RebuildEvery)
 			defer tick.Stop()
@@ -383,9 +468,14 @@ func (s *Server) Run(ctx context.Context) error {
 	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
+	tables := 0
+	if snap := s.current(); snap != nil {
+		tables = len(snap.g.Rel.TableNames())
+	}
 	s.logger.Info("listening", obs.F("addr", s.cfg.Addr),
-		obs.F("snapshot", s.current().seq),
-		obs.F("tables", len(s.current().g.Rel.TableNames())))
+		obs.F("role", string(s.Role())),
+		obs.F("snapshot", s.servingSeq()),
+		obs.F("tables", tables))
 	select {
 	case err := <-errCh:
 		return err

@@ -32,9 +32,22 @@ go test -race -run 'Fuzz.*' ./...
 go test -race -run 'TestChaos|TestDegraded|TestStale|TestFailedRebuild|TestCollect|TestStoreConcurrent|TestFaults|TestDrop|TestFlaky' \
     ./internal/chaos/ ./internal/core/ ./internal/ingest/ ./internal/server/ ./cmd/igdb/
 
+# Replication gate: the chaos acceptance matrix (truncated chunks, bit
+# flips, stalls, dropped connections, leader down) and the mid-fetch
+# failover test under the race detector — a follower must never serve a
+# partial or corrupt snapshot, and must keep answering while its leader
+# is gone.
+go test -race -run 'TestReplica|TestSlowLoris' ./internal/server/
+go test -race ./internal/replicate/
+
 # Smoke the benchmark harness (one iteration per benchmark) so bench.sh and
 # the benchmarks it drives cannot rot.
 scripts/bench.sh --smoke
+
+# Smoke the load generator end to end: a real leader + follower pair on a
+# tiny store, corpus replay against both, and a leader killed mid-stream
+# with the follower's error rate asserted to be exactly zero.
+scripts/loadgen.sh --smoke
 
 # Smoke the what-if failure engine: a tiny deterministic scenario batch
 # under the race detector (worker-pool result invariance and SQL-queryable
