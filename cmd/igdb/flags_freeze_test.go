@@ -20,14 +20,15 @@ import (
 // these spellings, so extending igdb's CLI surface means updating this
 // list deliberately.
 var frozenFlags = []string{
-	"addr", "as-of", "as-of", "cache-size", "concurrency",
+	"addr", "analyze", "as-of", "as-of", "cache-size", "concurrency",
 	"continue-on-error", "corpus", "degraded", "degraded", "dir", "dir",
-	"dir", "duration", "follow", "format", "layer", "leader", "log-json",
-	"max-concurrency", "max-rows", "mix", "name", "o", "o", "pairs",
-	"pprof", "query-log", "rebuild-every", "replica-poll", "retries",
-	"scale", "scenarios", "seed", "seed", "seed", "simulate-scenarios",
-	"simulate-seed", "slow-query", "stale-after", "stale-after",
-	"timeout", "top", "trace", "url", "workers",
+	"dir", "duration", "explain", "follow", "format", "layer", "leader",
+	"log-json", "max-concurrency", "max-rows", "mix", "name", "o", "o",
+	"pairs", "pprof", "query-log", "rebuild-every", "replica-poll",
+	"retries", "scale", "scenarios", "seed", "seed", "seed",
+	"simulate-scenarios", "simulate-seed", "slow-query", "stale-after",
+	"stale-after", "stmt-stats", "timeout", "top", "trace", "url",
+	"workers",
 }
 
 // frozenLintFlags freezes cmd/igdblint's surface the same way: -bench

@@ -19,8 +19,17 @@ import (
 	"time"
 
 	"igdb/internal/obs"
+	"igdb/internal/reldb"
 	"igdb/internal/render"
 )
+
+// explainSmokeSQL is issued once against the target before the timed run:
+// it proves the EXPLAIN ANALYZE path works end to end on a live server.
+// The *SQL name also harvests the statement into the lint schema check and
+// the parser fuzz corpus, so replayed load includes EXPLAIN traffic.
+const explainSmokeSQL = `EXPLAIN ANALYZE SELECT l.asn, COUNT(DISTINCT l.country) AS countries
+	FROM asn_loc l JOIN asn_name n ON n.asn = l.asn
+	GROUP BY l.asn ORDER BY countries DESC, l.asn ASC LIMIT 5`
 
 // cmdLoadgen replays realistic read traffic against a running igdb server
 // and reports latency percentiles and error rates as JSON. The SQL class
@@ -115,6 +124,7 @@ type loadClass struct {
 	name    string
 	weight  int
 	issue   []func(ctx context.Context, c *http.Client) (*http.Request, error)
+	fps     []string // parallel to issue; statement fingerprints (sql class only)
 	samples []time.Duration
 	errors  int
 }
@@ -141,6 +151,11 @@ func prepareClasses(client *http.Client, base, corpusDir string, weights map[str
 		if err != nil {
 			return nil, err
 		}
+		// The EXPLAIN ANALYZE smoke runs first: a target that cannot plan
+		// and instrument the reference query is not worth load-testing.
+		if status, err := issueOnce(client, sqlReq(base, explainSmokeSQL)); err != nil || status != http.StatusOK {
+			return nil, fmt.Errorf("EXPLAIN ANALYZE smoke failed against %s (status %d, err %v)", base, status, err)
+		}
 		cls := &loadClass{name: "sql", weight: w}
 		dropped := 0
 		for _, q := range queries {
@@ -149,6 +164,7 @@ func prepareClasses(client *http.Client, base, corpusDir string, weights map[str
 				continue
 			}
 			cls.issue = append(cls.issue, sqlReq(base, q))
+			cls.fps = append(cls.fps, reldb.Fingerprint(q))
 		}
 		if len(cls.issue) == 0 {
 			return nil, fmt.Errorf("no corpus query in %s passed validation against %s", corpusDir, base)
@@ -301,27 +317,43 @@ type classReport struct {
 	P999Ms   float64 `json:"p999_ms"`
 }
 
+// stmtLoadReport is one fingerprint's client-side latency aggregate: the
+// top_statements table names the slowest statement shapes a run produced,
+// mirroring the server's GET /debug/statements view from the outside.
+type stmtLoadReport struct {
+	Fingerprint string  `json:"fingerprint"`
+	Requests    int     `json:"requests"`
+	MeanMs      float64 `json:"mean_ms"`
+	MaxMs       float64 `json:"max_ms"`
+}
+
+// topStatements caps the per-fingerprint table in the report.
+const topStatements = 10
+
 // loadReport is cmdLoadgen's JSON output; scripts/loadgen.sh merges these
 // entries into BENCH_serve.json.
 type loadReport struct {
-	Benchmark   string                 `json:"benchmark"`
-	Target      string                 `json:"target"`
-	DurationS   float64                `json:"duration_s"`
-	Concurrency int                    `json:"concurrency"`
-	Requests    int                    `json:"requests"`
-	Errors      int                    `json:"errors"`
-	ErrorRate   float64                `json:"error_rate"`
-	RPS         float64                `json:"rps"`
-	P50Ms       float64                `json:"p50_ms"`
-	P99Ms       float64                `json:"p99_ms"`
-	P999Ms      float64                `json:"p999_ms"`
-	Classes     map[string]classReport `json:"classes"`
+	Benchmark     string                 `json:"benchmark"`
+	Target        string                 `json:"target"`
+	DurationS     float64                `json:"duration_s"`
+	Concurrency   int                    `json:"concurrency"`
+	Requests      int                    `json:"requests"`
+	Errors        int                    `json:"errors"`
+	ErrorRate     float64                `json:"error_rate"`
+	RPS           float64                `json:"rps"`
+	P50Ms         float64                `json:"p50_ms"`
+	P99Ms         float64                `json:"p99_ms"`
+	P999Ms        float64                `json:"p999_ms"`
+	Classes       map[string]classReport `json:"classes"`
+	TopStatements []stmtLoadReport       `json:"top_statements,omitempty"`
 }
 
-// sample is one completed request: which class, how long, and whether the
-// server failed it (transport error or non-2xx on a pre-validated request).
+// sample is one completed request: which class and request, how long, and
+// whether the server failed it (transport error or non-2xx on a
+// pre-validated request).
 type sample struct {
 	class   int
+	req     int
 	elapsed time.Duration
 	failed  bool
 }
@@ -355,7 +387,8 @@ func runLoad(client *http.Client, classes []*loadClass, concurrency int, duratio
 				for pick := rng.Intn(total); ci < len(cum) && pick >= cum[ci]; ci++ {
 				}
 				cls := classes[ci]
-				mk := cls.issue[rng.Intn(len(cls.issue))]
+				ri := rng.Intn(len(cls.issue))
+				mk := cls.issue[ri]
 				t0 := time.Now()
 				req, err := mk(ctx, client)
 				var failed bool
@@ -376,7 +409,7 @@ func runLoad(client *http.Client, classes []*loadClass, concurrency int, duratio
 						failed = resp.StatusCode < 200 || resp.StatusCode > 299
 					}
 				}
-				results[w] = append(results[w], sample{class: ci, elapsed: time.Since(t0), failed: failed})
+				results[w] = append(results[w], sample{class: ci, req: ri, elapsed: time.Since(t0), failed: failed})
 			}
 		}(w)
 	}
@@ -385,6 +418,12 @@ func runLoad(client *http.Client, classes []*loadClass, concurrency int, duratio
 
 	var all []time.Duration
 	errors := 0
+	type fpAgg struct {
+		n     int
+		total time.Duration
+		max   time.Duration
+	}
+	byFP := make(map[string]*fpAgg)
 	for _, rs := range results {
 		for _, s := range rs {
 			cls := classes[s.class]
@@ -392,6 +431,18 @@ func runLoad(client *http.Client, classes []*loadClass, concurrency int, duratio
 			if s.failed {
 				cls.errors++
 				errors++
+			}
+			if s.req < len(cls.fps) {
+				agg := byFP[cls.fps[s.req]]
+				if agg == nil {
+					agg = &fpAgg{}
+					byFP[cls.fps[s.req]] = agg
+				}
+				agg.n++
+				agg.total += s.elapsed
+				if s.elapsed > agg.max {
+					agg.max = s.elapsed
+				}
 			}
 			all = append(all, s.elapsed)
 		}
@@ -418,6 +469,24 @@ func runLoad(client *http.Client, classes []*loadClass, concurrency int, duratio
 			P99Ms:    percentileMs(c.samples, 0.99),
 			P999Ms:   percentileMs(c.samples, 0.999),
 		}
+	}
+	for fp, agg := range byFP {
+		rep.TopStatements = append(rep.TopStatements, stmtLoadReport{
+			Fingerprint: fp,
+			Requests:    agg.n,
+			MeanMs:      float64(agg.total) / float64(agg.n) / float64(time.Millisecond),
+			MaxMs:       float64(agg.max) / float64(time.Millisecond),
+		})
+	}
+	sort.Slice(rep.TopStatements, func(i, j int) bool {
+		a, b := rep.TopStatements[i], rep.TopStatements[j]
+		if a.MeanMs != b.MeanMs {
+			return a.MeanMs > b.MeanMs
+		}
+		return a.Fingerprint < b.Fingerprint
+	})
+	if len(rep.TopStatements) > topStatements {
+		rep.TopStatements = rep.TopStatements[:topStatements]
 	}
 	return rep
 }

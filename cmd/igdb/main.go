@@ -276,15 +276,23 @@ func cmdCheck(args []string) error {
 func cmdSQL(args []string) error {
 	fs := flag.NewFlagSet("sql", flag.ExitOnError)
 	bf := addBuildFlags(fs)
+	explain := fs.Bool("explain", false, "show the execution plan instead of running the statement")
+	analyze := fs.Bool("analyze", false, "like -explain, but execute and annotate actual rows and time")
 	_ = fs.Parse(args)
 	if fs.NArg() != 1 {
-		return fmt.Errorf("usage: igdb sql -dir DIR 'SELECT ...'")
+		return fmt.Errorf("usage: igdb sql [-explain|-analyze] -dir DIR 'SELECT ...'")
 	}
 	g, err := bf.build()
 	if err != nil {
 		return err
 	}
-	rows, err := g.Rel.Query(fs.Arg(0))
+	sql := fs.Arg(0)
+	if *analyze {
+		sql = "EXPLAIN ANALYZE " + sql
+	} else if *explain {
+		sql = "EXPLAIN " + sql
+	}
+	rows, err := g.Rel.Query(sql)
 	if err != nil {
 		return err
 	}

@@ -31,6 +31,7 @@ func cmdServe(args []string) error {
 	enablePprof := fs.Bool("pprof", false, "mount net/http/pprof under GET /debug/pprof/")
 	slowQuery := fs.Duration("slow-query", 0, "record /sql statements slower than this in GET /debug/queries (0 = 250ms default, negative = all)")
 	queryLog := fs.Int("query-log", 128, "slow-query log ring-buffer capacity")
+	stmtStats := fs.Int("stmt-stats", 0, "distinct statement fingerprints tracked by GET /debug/statements (0 = 512 default)")
 	logJSON := fs.Bool("log-json", false, "emit logs as JSON lines instead of key=value text")
 	simScenarios := fs.Int("simulate-scenarios", 0, "run this many what-if failure scenarios against every snapshot after build (0 = off); results serve via POST /sql")
 	simSeed := fs.Int64("simulate-seed", 1, "seed for the snapshot simulation batch")
@@ -61,6 +62,7 @@ func cmdServe(args []string) error {
 		EnablePprof:    *enablePprof,
 		SlowQueryMin:   *slowQuery,
 		QueryLogSize:   *queryLog,
+		StmtStatsSize:  *stmtStats,
 
 		SimulateScenarios: *simScenarios,
 		SimulateSeed:      *simSeed,

@@ -20,7 +20,7 @@ var reldbEntryPoints = map[string]bool{
 // they are not passed directly to a reldb call (table-driven query lists,
 // consts). Literals containing % verbs are fmt templates, not complete
 // statements, and are skipped.
-var sqlPrefixRE = regexp.MustCompile(`(?i)^\s*(SELECT|INSERT\s+INTO|CREATE\s+TABLE|CREATE\s+INDEX|UPDATE|DELETE\s+FROM|DROP\s+TABLE)\s+\S`)
+var sqlPrefixRE = regexp.MustCompile(`(?i)^\s*(EXPLAIN\s+(ANALYZE\s+)?)?(SELECT|INSERT\s+INTO|CREATE\s+TABLE|CREATE\s+INDEX|UPDATE|DELETE\s+FROM|DROP\s+TABLE)\s+\S`)
 
 // SQLUse is one harvested SQL statement: where it appears and its text.
 type SQLUse struct {

@@ -135,6 +135,8 @@ func (db *DB) Exec(sql string) (int, error) {
 	switch s := st.(type) {
 	case *SelectStmt:
 		return 0, fmt.Errorf("reldb: use Query for SELECT")
+	case *ExplainStmt:
+		return 0, fmt.Errorf("reldb: use Query for EXPLAIN")
 	case *CreateTableStmt:
 		return 0, db.createTable(s)
 	case *CreateIndexStmt:
@@ -161,19 +163,49 @@ func (db *DB) MustExec(sql string) int {
 	return n
 }
 
-// Query parses and runs a SELECT.
+// Query parses and runs a SELECT, or an EXPLAIN [ANALYZE] of any statement
+// (EXPLAIN output is the plan tree rendered as single-column text rows; use
+// Explain for the structured tree).
 func (db *DB) Query(sql string) (*Rows, error) {
 	st, err := ParseStatement(sql)
 	if err != nil {
 		return nil, err
 	}
-	sel, ok := st.(*SelectStmt)
-	if !ok {
+	switch s := st.(type) {
+	case *SelectStmt:
+		db.mu.RLock()
+		defer db.mu.RUnlock()
+		return db.execSelect(s)
+	case *ExplainStmt:
+		db.mu.RLock()
+		defer db.mu.RUnlock()
+		plan, err := db.explainLocked(s)
+		if err != nil {
+			return nil, err
+		}
+		return plan.Rows(), nil
+	default:
 		return nil, fmt.Errorf("reldb: Query requires SELECT")
 	}
+}
+
+// Explain plans sql (which may but need not carry an EXPLAIN prefix) and
+// returns the structured plan tree. With analyze true the statement must be
+// a SELECT; it is executed and the tree carries actual row counts and
+// per-operator timings.
+func (db *DB) Explain(sql string, analyze bool) (*PlanNode, error) {
+	st, err := ParseStatement(sql)
+	if err != nil {
+		return nil, err
+	}
+	ex, ok := st.(*ExplainStmt)
+	if !ok {
+		ex = &ExplainStmt{Stmt: st}
+	}
+	ex.Analyze = ex.Analyze || analyze
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	return db.execSelect(sel)
+	return db.explainLocked(ex)
 }
 
 // MustQuery runs Query and panics on error.

@@ -327,11 +327,15 @@ func (e *evalEnv) evalAggregate(n *Call) (Value, error) {
 	if len(n.Args) != 1 {
 		return Null, fmt.Errorf("reldb: %s takes one argument", n.Fn)
 	}
-	// Evaluate the argument per group row.
+	// Evaluate the argument per group row. One env is reused across the
+	// group and the DISTINCT set is only allocated when needed: this loop
+	// runs once per aggregate per group, so per-iteration allocations here
+	// dominate grouped-query cost.
 	var vals []Value
-	seen := map[string]bool{}
+	var seen map[string]bool
+	sub := evalEnv{db: e.db, schema: e.schema}
 	for _, row := range e.group {
-		sub := &evalEnv{db: e.db, schema: e.schema, row: row}
+		sub.row = row
 		v, err := sub.eval(n.Args[0])
 		if err != nil {
 			return Null, err
@@ -340,6 +344,9 @@ func (e *evalEnv) evalAggregate(n *Call) (Value, error) {
 			continue
 		}
 		if n.Distinct {
+			if seen == nil {
+				seen = make(map[string]bool, len(e.group))
+			}
 			k := v.key()
 			if seen[k] {
 				continue
@@ -396,31 +403,47 @@ func (e *evalEnv) evalAggregate(n *Call) (Value, error) {
 // execSelect runs one SELECT plan. Callers (Query, Stmt.Query) hold
 // db.mu for reading.
 func (db *DB) execSelect(s *SelectStmt) (*Rows, error) {
+	return db.execSelectPlan(s, nil)
+}
+
+// execSelectPlan runs one SELECT. With a non-nil plan (EXPLAIN ANALYZE)
+// every pipeline stage is timed and row-counted into the matching plan
+// node; with a nil plan each probe call is a nil check and nothing more,
+// so the plain-query path pays no measurable overhead for the
+// instrumentation.
+func (db *DB) execSelectPlan(s *SelectStmt, pl *selectPlan) (*Rows, error) {
 	sch := newSchema()
 	var rows [][]Value
 	if s.From == nil {
 		// Expression-only select: SELECT 1+1.
+		prb := pl.probeScan()
 		rows = [][]Value{nil}
+		prb.done(0, 1, 1)
 	} else {
 		//lint:ignore guardedby callers (Query, Stmt.Query) hold db.mu
 		base, ok := db.tables[strings.ToLower(s.From.Name)]
 		if !ok {
 			return nil, fmt.Errorf("reldb: no such table %q", s.From.Name)
 		}
+		prb := pl.probeScan()
 		sch.addTable(s.From.label(), base)
 		rows = make([][]Value, len(base.Rows))
 		copy(rows, base.Rows)
-		for _, j := range s.Joins {
+		prb.done(len(base.Rows), len(rows), 1)
+		for i, j := range s.Joins {
 			//lint:ignore guardedby callers (Query, Stmt.Query) hold db.mu
 			jt, ok := db.tables[strings.ToLower(j.Table.Name)]
 			if !ok {
 				return nil, fmt.Errorf("reldb: no such table %q", j.Table.Name)
 			}
+			in := len(rows)
+			prb := pl.probeJoin(i)
 			var err error
-			rows, err = db.join(sch, rows, j, jt)
+			rows, err = db.join(sch, rows, j, jt, pl.joinProbeAt(i))
 			if err != nil {
 				return nil, err
 			}
+			prb.done(in, len(rows), 1)
 			sch.addTable(j.Table.label(), jt)
 		}
 	}
@@ -430,9 +453,12 @@ func (db *DB) execSelect(s *SelectStmt) (*Rows, error) {
 		if hasAggregate(s.Where) {
 			return nil, fmt.Errorf("reldb: aggregates are not allowed in WHERE")
 		}
+		prb := pl.probeFilter()
+		in := len(rows)
 		filtered := rows[:0:0]
+		env := evalEnv{db: db, schema: sch}
 		for _, row := range rows {
-			env := &evalEnv{db: db, schema: sch, row: row}
+			env.row = row
 			v, err := env.eval(s.Where)
 			if err != nil {
 				return nil, err
@@ -442,6 +468,7 @@ func (db *DB) execSelect(s *SelectStmt) (*Rows, error) {
 			}
 		}
 		rows = filtered
+		prb.done(in, len(rows), 1)
 	}
 
 	// Expand stars into explicit items.
@@ -502,12 +529,15 @@ func (db *DB) execSelect(s *SelectStmt) (*Rows, error) {
 	}
 
 	if grouped {
+		prb := pl.probeOutput()
+		in := len(rows)
 		groups, err := groupRows(db, sch, rows, s.GroupBy)
 		if err != nil {
 			return nil, err
 		}
+		env := evalEnv{db: db, schema: sch}
 		for _, g := range groups {
-			env := &evalEnv{db: db, schema: sch, row: g.first, group: g.rows}
+			env.row, env.group = g.first, g.rows
 			if s.Having != nil {
 				v, err := env.eval(s.Having)
 				if err != nil {
@@ -517,25 +547,33 @@ func (db *DB) execSelect(s *SelectStmt) (*Rows, error) {
 					continue
 				}
 			}
-			if err := emit(env); err != nil {
+			if err := emit(&env); err != nil {
 				return nil, err
 			}
 		}
+		prb.done(in, len(result), 1)
 	} else {
+		prb := pl.probeOutput()
+		in := len(rows)
+		env := evalEnv{db: db, schema: sch}
 		for _, row := range rows {
-			env := &evalEnv{db: db, schema: sch, row: row}
-			if err := emit(env); err != nil {
+			env.row = row
+			if err := emit(&env); err != nil {
 				return nil, err
 			}
 		}
+		prb.done(in, len(result), 1)
 	}
 
 	// DISTINCT.
 	if s.Distinct {
+		prb := pl.probeDistinct()
+		in := len(result)
 		seen := map[string]bool{}
 		dedup := result[:0:0]
+		var b strings.Builder
 		for _, r := range result {
-			var b strings.Builder
+			b.Reset()
 			for _, v := range r.vals {
 				b.WriteString(v.key())
 				b.WriteByte('\x01')
@@ -547,10 +585,12 @@ func (db *DB) execSelect(s *SelectStmt) (*Rows, error) {
 			}
 		}
 		result = dedup
+		prb.done(in, len(result), 1)
 	}
 
 	// ORDER BY (stable, so ties preserve input order).
 	if len(s.OrderBy) > 0 {
+		prb := pl.probeSort()
 		sort.SliceStable(result, func(i, j int) bool {
 			for k, ob := range s.OrderBy {
 				c := Compare(result[i].keys[k], result[j].keys[k])
@@ -564,18 +604,24 @@ func (db *DB) execSelect(s *SelectStmt) (*Rows, error) {
 			}
 			return false
 		})
+		prb.done(len(result), len(result), 1)
 	}
 
 	// OFFSET / LIMIT.
-	if s.Offset > 0 {
-		if s.Offset >= len(result) {
-			result = nil
-		} else {
-			result = result[s.Offset:]
+	if s.Limit >= 0 || s.Offset > 0 {
+		prb := pl.probeLimit()
+		in := len(result)
+		if s.Offset > 0 {
+			if s.Offset >= len(result) {
+				result = nil
+			} else {
+				result = result[s.Offset:]
+			}
 		}
-	}
-	if s.Limit >= 0 && s.Limit < len(result) {
-		result = result[:s.Limit]
+		if s.Limit >= 0 && s.Limit < len(result) {
+			result = result[:s.Limit]
+		}
+		prb.done(in, len(result), 1)
 	}
 
 	out.Rows = make([][]Value, len(result))
@@ -598,9 +644,11 @@ func groupRows(db *DB, sch *schema, rows [][]Value, by []Expr) ([]group, error) 
 	}
 	order := []string{}
 	m := map[string]*group{}
+	env := evalEnv{db: db, schema: sch}
+	var b strings.Builder
 	for _, row := range rows {
-		env := &evalEnv{db: db, schema: sch, row: row}
-		var b strings.Builder
+		env.row = row
+		b.Reset()
 		for _, e := range by {
 			v, err := env.eval(e)
 			if err != nil {
@@ -688,7 +736,8 @@ func anyAggregateOrder(obs []OrderItem) bool {
 // join combines the current intermediate rows with table jt. When the ON
 // clause contains an equality between a column of the existing schema and a
 // column of the new table, a hash join is used; otherwise a nested loop.
-func (db *DB) join(sch *schema, left [][]Value, j JoinClause, jt *Table) ([][]Value, error) {
+// jp (nil outside EXPLAIN ANALYZE) records which strategy ran.
+func (db *DB) join(sch *schema, left [][]Value, j JoinClause, jt *Table, jp *joinProbe) ([][]Value, error) {
 	newSch := &schema{
 		labels: append([]string{}, sch.labels...),
 		names:  append([]string{}, sch.names...),
@@ -706,13 +755,17 @@ func (db *DB) join(sch *schema, left [][]Value, j JoinClause, jt *Table) ([][]Va
 
 	// Try to extract an equi-join pair from the ON expression.
 	lExpr, rExpr := equiJoinPair(j.On, sch, newSch, j.Table.label(), jt)
+	jp.chose(lExpr != nil, len(left), len(jt.Rows))
 	var out [][]Value
 	if lExpr != nil {
-		// Hash the right side.
-		idx := make(map[string][][]Value)
+		// Hash the right side. The build key is evaluated against one
+		// reusable padded row rather than a fresh combine per right row.
+		idx := make(map[string][][]Value, len(jt.Rows))
+		pad := make([]Value, leftWidth+len(jt.Cols))
+		envR := evalEnv{db: db, schema: newSch, row: pad}
 		for _, rrow := range jt.Rows {
-			env := &evalEnv{db: db, schema: newSch, row: combine(make([]Value, leftWidth), rrow)}
-			v, err := env.eval(rExpr)
+			copy(pad[leftWidth:], rrow)
+			v, err := envR.eval(rExpr)
 			if err != nil {
 				return nil, err
 			}
@@ -722,8 +775,10 @@ func (db *DB) join(sch *schema, left [][]Value, j JoinClause, jt *Table) ([][]Va
 			k := v.key()
 			idx[k] = append(idx[k], rrow)
 		}
+		envL := evalEnv{db: db, schema: sch}
+		env := evalEnv{db: db, schema: newSch}
 		for _, lrow := range left {
-			envL := &evalEnv{db: db, schema: sch, row: lrow}
+			envL.row = lrow
 			lv, err := envL.eval(lExpr)
 			if err != nil {
 				return nil, err
@@ -732,7 +787,7 @@ func (db *DB) join(sch *schema, left [][]Value, j JoinClause, jt *Table) ([][]Va
 			if !lv.IsNull() {
 				for _, rrow := range idx[lv.key()] {
 					full := combine(lrow, rrow)
-					env := &evalEnv{db: db, schema: newSch, row: full}
+					env.row = full
 					v, err := env.eval(j.On)
 					if err != nil {
 						return nil, err
@@ -751,11 +806,12 @@ func (db *DB) join(sch *schema, left [][]Value, j JoinClause, jt *Table) ([][]Va
 	}
 
 	// Nested loop fallback.
+	env := evalEnv{db: db, schema: newSch}
 	for _, lrow := range left {
 		matched := false
 		for _, rrow := range jt.Rows {
 			full := combine(lrow, rrow)
-			env := &evalEnv{db: db, schema: newSch, row: full}
+			env.row = full
 			v, err := env.eval(j.On)
 			if err != nil {
 				return nil, err

@@ -1,0 +1,506 @@
+package reldb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Operator names used in plan trees. They double as the machine-readable
+// "op" field of the JSON rendering, so they are stable identifiers.
+const (
+	OpScan     = "scan"
+	OpValues   = "values"
+	OpHashJoin = "hash_join"
+	OpLoopJoin = "nested_loop_join"
+	OpFilter   = "filter"
+	OpGroup    = "group"
+	OpProject  = "project"
+	OpDistinct = "distinct"
+	OpSort     = "sort"
+	OpLimit    = "limit"
+)
+
+// OpStats holds the runtime measurements EXPLAIN ANALYZE attaches to one
+// operator: rows flowing in and out, how many times the operator ran, and
+// wall time spent inside it.
+type OpStats struct {
+	RowsIn  int     `json:"rows_in"`
+	RowsOut int     `json:"rows_out"`
+	Loops   int     `json:"loops"`
+	TimeMs  float64 `json:"time_ms"`
+}
+
+// PlanNode is one operator in a query plan tree. Plain EXPLAIN produces the
+// static tree (Actual nil); EXPLAIN ANALYZE additionally executes the
+// statement and fills Actual on every operator that ran.
+type PlanNode struct {
+	Op       string      `json:"op"`
+	Table    string      `json:"table,omitempty"`
+	Detail   string      `json:"detail,omitempty"`
+	Index    string      `json:"index,omitempty"`
+	EstRows  int         `json:"est_rows,omitempty"`
+	Children []*PlanNode `json:"children,omitempty"`
+	Actual   *OpStats    `json:"actual,omitempty"`
+}
+
+// Text renders the plan tree as indented lines, root first.
+func (n *PlanNode) Text() []string {
+	var out []string
+	n.appendText(&out, 0)
+	return out
+}
+
+// Rows renders the plan tree as a single-column result set, so EXPLAIN
+// output flows through every surface that already speaks *Rows (the SQL
+// HTTP endpoint, igdb sql, the codec).
+func (n *PlanNode) Rows() *Rows {
+	lines := n.Text()
+	out := &Rows{Columns: []string{"plan"}}
+	out.Rows = make([][]Value, len(lines))
+	for i, l := range lines {
+		out.Rows[i] = []Value{Text(l)}
+	}
+	return out
+}
+
+func (n *PlanNode) appendText(out *[]string, depth int) {
+	var b strings.Builder
+	b.WriteString(strings.Repeat("  ", depth))
+	if depth > 0 {
+		b.WriteString("-> ")
+	}
+	b.WriteString(n.Op)
+	if n.Table != "" {
+		b.WriteByte(' ')
+		b.WriteString(n.Table)
+	}
+	if n.Detail != "" {
+		b.WriteString(" (")
+		b.WriteString(n.Detail)
+		b.WriteByte(')')
+	}
+	if n.EstRows > 0 || n.Op == OpScan {
+		fmt.Fprintf(&b, " rows=%d", n.EstRows)
+	}
+	if n.Index != "" {
+		b.WriteString(" [")
+		b.WriteString(n.Index)
+		b.WriteByte(']')
+	}
+	if n.Actual != nil {
+		fmt.Fprintf(&b, " (actual: in=%d out=%d loops=%d time=%.3fms)",
+			n.Actual.RowsIn, n.Actual.RowsOut, n.Actual.Loops, n.Actual.TimeMs)
+	}
+	*out = append(*out, b.String())
+	for _, c := range n.Children {
+		c.appendText(out, depth+1)
+	}
+}
+
+// Walk visits the node and all descendants in depth-first pre-order.
+func (n *PlanNode) Walk(fn func(*PlanNode, int)) { n.walk(fn, 0) }
+
+func (n *PlanNode) walk(fn func(*PlanNode, int), depth int) {
+	fn(n, depth)
+	for _, c := range n.Children {
+		c.walk(fn, depth+1)
+	}
+}
+
+// selectPlan carries the plan tree for one SELECT plus direct handles to the
+// stage nodes the executor instruments. A nil *selectPlan is the plain-query
+// path: every probe call on it is a nil check and nothing else, which keeps
+// EXPLAIN support free when not asked for.
+type selectPlan struct {
+	root   *PlanNode
+	scan   *PlanNode
+	joins  []*PlanNode
+	rscans []*PlanNode // right-side scan child per join, same order
+	filter *PlanNode
+	output *PlanNode // group or project
+	dedup  *PlanNode
+	sort   *PlanNode
+	limit  *PlanNode
+}
+
+// opProbe measures one operator activation. The zero-value-free nil form is
+// a no-op on every method, so un-instrumented execution pays only a nil
+// comparison per stage.
+type opProbe struct {
+	node *PlanNode
+	t0   time.Time
+}
+
+func newProbe(n *PlanNode) *opProbe {
+	if n == nil {
+		return nil
+	}
+	return &opProbe{node: n, t0: time.Now()}
+}
+
+// Per-stage probe constructors; all are no-ops on a nil plan so the
+// executor can call them unconditionally.
+func (pl *selectPlan) probeScan() *opProbe {
+	if pl == nil {
+		return nil
+	}
+	return newProbe(pl.scan)
+}
+
+func (pl *selectPlan) probeJoin(i int) *opProbe {
+	if pl == nil {
+		return nil
+	}
+	return newProbe(pl.joins[i])
+}
+
+func (pl *selectPlan) probeFilter() *opProbe {
+	if pl == nil {
+		return nil
+	}
+	return newProbe(pl.filter)
+}
+
+func (pl *selectPlan) probeOutput() *opProbe {
+	if pl == nil {
+		return nil
+	}
+	return newProbe(pl.output)
+}
+
+func (pl *selectPlan) probeDistinct() *opProbe {
+	if pl == nil {
+		return nil
+	}
+	return newProbe(pl.dedup)
+}
+
+func (pl *selectPlan) probeSort() *opProbe {
+	if pl == nil {
+		return nil
+	}
+	return newProbe(pl.sort)
+}
+
+func (pl *selectPlan) probeLimit() *opProbe {
+	if pl == nil {
+		return nil
+	}
+	return newProbe(pl.limit)
+}
+
+// done accumulates the activation into the node. Accumulation (rather than
+// assignment) keeps repeated activations of one operator additive.
+func (p *opProbe) done(rowsIn, rowsOut, loops int) {
+	if p == nil {
+		return
+	}
+	st := p.node.Actual
+	if st == nil {
+		st = &OpStats{}
+		p.node.Actual = st
+	}
+	st.RowsIn += rowsIn
+	st.RowsOut += rowsOut
+	st.Loops += loops
+	st.TimeMs += float64(time.Since(p.t0)) / float64(time.Millisecond)
+}
+
+func (pl *selectPlan) joinProbeAt(i int) *joinProbe {
+	if pl == nil {
+		return nil
+	}
+	return &joinProbe{join: pl.joins[i], scan: pl.rscans[i]}
+}
+
+// joinProbe lets the join operator report which strategy it actually chose
+// and how the right-side scan behaved under it.
+type joinProbe struct {
+	join *PlanNode
+	scan *PlanNode
+}
+
+func (jp *joinProbe) chose(hash bool, leftRows, rightRows int) {
+	if jp == nil {
+		return
+	}
+	if hash {
+		jp.join.Op = OpHashJoin
+		// Hash join reads the right side once to build the hash table.
+		jp.scan.Actual = &OpStats{RowsIn: rightRows, RowsOut: rightRows, Loops: 1}
+		return
+	}
+	jp.join.Op = OpLoopJoin
+	jp.join.Index = ""
+	// Nested loop re-scans the right side once per left row.
+	jp.scan.Actual = &OpStats{RowsIn: rightRows, RowsOut: leftRows * rightRows, Loops: leftRows}
+}
+
+// planSelect builds the static plan tree for a SELECT. The caller must hold
+// db.mu (shared is enough); the planner reads table sizes and index state
+// and replays the executor's own join-strategy decision so EXPLAIN never
+// lies about what execution would do.
+func (db *DB) planSelect(s *SelectStmt) (*selectPlan, error) {
+	pl := &selectPlan{}
+	sch := newSchema()
+	var cur *PlanNode
+	if s.From == nil {
+		cur = &PlanNode{Op: OpValues, Detail: "one synthetic row", EstRows: 1}
+		pl.scan = cur
+	} else {
+		//lint:ignore guardedby callers hold db.mu
+		base, ok := db.tables[strings.ToLower(s.From.Name)]
+		if !ok {
+			return nil, fmt.Errorf("reldb: no such table %q", s.From.Name)
+		}
+		cur = scanNode(s.From.label(), base)
+		pl.scan = cur
+		sch.addTable(s.From.label(), base)
+		for _, j := range s.Joins {
+			//lint:ignore guardedby callers hold db.mu
+			jt, ok := db.tables[strings.ToLower(j.Table.Name)]
+			if !ok {
+				return nil, fmt.Errorf("reldb: no such table %q", j.Table.Name)
+			}
+			newSch := &schema{
+				labels: append([]string{}, sch.labels...),
+				names:  append([]string{}, sch.names...),
+			}
+			newSch.addTable(j.Table.label(), jt)
+			lExpr, rExpr := equiJoinPair(j.On, sch, newSch, j.Table.label(), jt)
+			kind := "inner"
+			if j.Left {
+				kind = "left"
+			}
+			jn := &PlanNode{Detail: kind + " join on " + ExprString(j.On)}
+			if lExpr != nil {
+				jn.Op = OpHashJoin
+				jn.Index = "hash(" + ExprString(rExpr) + ")"
+			} else {
+				jn.Op = OpLoopJoin
+			}
+			rscan := scanNode(j.Table.label(), jt)
+			jn.Children = []*PlanNode{cur, rscan}
+			pl.joins = append(pl.joins, jn)
+			pl.rscans = append(pl.rscans, rscan)
+			cur = jn
+			sch = newSch
+		}
+	}
+
+	if s.Where != nil {
+		pl.filter = &PlanNode{Op: OpFilter, Detail: ExprString(s.Where), Children: []*PlanNode{cur}}
+		cur = pl.filter
+	}
+
+	items, err := expandStars(s.Items, sch)
+	if err != nil {
+		return nil, err
+	}
+	grouped := len(s.GroupBy) > 0 || s.Having != nil || anyAggregate(items) ||
+		(len(s.OrderBy) > 0 && anyAggregateOrder(s.OrderBy))
+
+	var names []string
+	for _, it := range items {
+		names = append(names, itemName(it))
+	}
+	if grouped {
+		detail := "by: all rows"
+		if len(s.GroupBy) > 0 {
+			detail = "by: " + exprListString(s.GroupBy)
+		}
+		if s.Having != nil {
+			detail += "; having: " + ExprString(s.Having)
+		}
+		detail += "; emit: " + strings.Join(names, ", ")
+		pl.output = &PlanNode{Op: OpGroup, Detail: detail, Children: []*PlanNode{cur}}
+	} else {
+		pl.output = &PlanNode{Op: OpProject, Detail: strings.Join(names, ", "), Children: []*PlanNode{cur}}
+	}
+	cur = pl.output
+
+	if s.Distinct {
+		pl.dedup = &PlanNode{Op: OpDistinct, Children: []*PlanNode{cur}}
+		cur = pl.dedup
+	}
+	if len(s.OrderBy) > 0 {
+		var keys []string
+		for _, ob := range s.OrderBy {
+			k := ExprString(ob.Expr)
+			if ob.Desc {
+				k += " desc"
+			}
+			keys = append(keys, k)
+		}
+		pl.sort = &PlanNode{Op: OpSort, Detail: "keys: " + strings.Join(keys, ", "), Children: []*PlanNode{cur}}
+		cur = pl.sort
+	}
+	if s.Limit >= 0 || s.Offset > 0 {
+		detail := ""
+		if s.Limit >= 0 {
+			detail = fmt.Sprintf("limit %d", s.Limit)
+		}
+		if s.Offset > 0 {
+			if detail != "" {
+				detail += " "
+			}
+			detail += fmt.Sprintf("offset %d", s.Offset)
+		}
+		pl.limit = &PlanNode{Op: OpLimit, Detail: detail, Children: []*PlanNode{cur}}
+		cur = pl.limit
+	}
+	pl.root = cur
+	return pl, nil
+}
+
+// scanNode describes a full scan of one table, annotated with the hash
+// indexes that exist on it (execution may or may not use them; the join
+// operator reports the transient hash table it builds separately).
+func scanNode(label string, t *Table) *PlanNode {
+	n := &PlanNode{Op: OpScan, Table: t.Name, EstRows: len(t.Rows)}
+	if !strings.EqualFold(label, t.Name) {
+		n.Detail = "as " + label
+	}
+	if len(t.indexes) > 0 {
+		var cols []string
+		for col := range t.indexes {
+			cols = append(cols, "hash("+strings.ToLower(t.Cols[col].Name)+")")
+		}
+		sort.Strings(cols)
+		n.Index = strings.Join(cols, ", ")
+	}
+	return n
+}
+
+// explainLocked plans ex.Stmt and, for EXPLAIN ANALYZE of a SELECT,
+// executes it with per-operator probes attached. Callers hold db.mu for
+// reading — ANALYZE therefore only supports read-only statements.
+func (db *DB) explainLocked(ex *ExplainStmt) (*PlanNode, error) {
+	switch inner := ex.Stmt.(type) {
+	case *SelectStmt:
+		pl, err := db.planSelect(inner)
+		if err != nil {
+			return nil, err
+		}
+		if ex.Analyze {
+			if _, err := db.execSelectPlan(inner, pl); err != nil {
+				return nil, err
+			}
+		}
+		return pl.root, nil
+	default:
+		if ex.Analyze {
+			return nil, fmt.Errorf("reldb: EXPLAIN ANALYZE supports only SELECT (got %s)", StatementKind(ex.Stmt))
+		}
+		return staticPlan(ex.Stmt), nil
+	}
+}
+
+// staticPlan builds the single-node plans EXPLAIN reports for DDL/DML.
+func staticPlan(st Statement) *PlanNode {
+	switch s := st.(type) {
+	case *InsertStmt:
+		return &PlanNode{Op: "insert", Table: s.Table, Detail: fmt.Sprintf("%d row(s)", len(s.Rows))}
+	case *DeleteStmt:
+		n := &PlanNode{Op: "delete", Table: s.Table}
+		if s.Where != nil {
+			n.Detail = ExprString(s.Where)
+		}
+		return n
+	case *UpdateStmt:
+		var cols []string
+		for _, set := range s.Sets {
+			cols = append(cols, strings.ToLower(set.Column))
+		}
+		n := &PlanNode{Op: "update", Table: s.Table, Detail: "set: " + strings.Join(cols, ", ")}
+		if s.Where != nil {
+			n.Detail += "; where: " + ExprString(s.Where)
+		}
+		return n
+	case *CreateTableStmt:
+		return &PlanNode{Op: "create_table", Table: s.Name, Detail: fmt.Sprintf("%d column(s)", len(s.Cols))}
+	case *CreateIndexStmt:
+		return &PlanNode{Op: "create_index", Table: s.Table, Index: "hash(" + strings.ToLower(s.Column) + ")"}
+	case *DropTableStmt:
+		return &PlanNode{Op: "drop_table", Table: s.Name}
+	default:
+		return &PlanNode{Op: strings.ToLower(StatementKind(st))}
+	}
+}
+
+// ExprString renders an expression for plan annotations. The output is for
+// humans reading plans, not for re-parsing.
+func ExprString(e Expr) string {
+	switch n := e.(type) {
+	case nil:
+		return ""
+	case *Lit:
+		return litString(n.V)
+	case *ColRef:
+		if n.Table != "" {
+			return strings.ToLower(n.Table) + "." + strings.ToLower(n.Name)
+		}
+		return strings.ToLower(n.Name)
+	case *Unary:
+		if n.Op == "NOT" {
+			return "NOT " + ExprString(n.X)
+		}
+		return n.Op + ExprString(n.X)
+	case *Binary:
+		return boolOperand(n.L, n.Op) + " " + n.Op + " " + boolOperand(n.R, n.Op)
+	case *InExpr:
+		op := " IN ("
+		if n.Not {
+			op = " NOT IN ("
+		}
+		return ExprString(n.X) + op + exprListString(n.List) + ")"
+	case *IsNullExpr:
+		if n.Not {
+			return ExprString(n.X) + " IS NOT NULL"
+		}
+		return ExprString(n.X) + " IS NULL"
+	case *BetweenExpr:
+		op := " BETWEEN "
+		if n.Not {
+			op = " NOT BETWEEN "
+		}
+		return ExprString(n.X) + op + ExprString(n.Lo) + " AND " + ExprString(n.Hi)
+	case *Call:
+		if n.Star {
+			return n.Fn + "(*)"
+		}
+		args := exprListString(n.Args)
+		if n.Distinct {
+			args = "DISTINCT " + args
+		}
+		return n.Fn + "(" + args + ")"
+	default:
+		return fmt.Sprintf("%T", e)
+	}
+}
+
+// boolOperand parenthesizes a nested AND/OR of a different operator so the
+// rendered precedence matches the tree.
+func boolOperand(e Expr, parentOp string) string {
+	if b, ok := e.(*Binary); ok && (b.Op == "AND" || b.Op == "OR") && b.Op != parentOp {
+		return "(" + ExprString(e) + ")"
+	}
+	return ExprString(e)
+}
+
+func exprListString(list []Expr) string {
+	var parts []string
+	for _, e := range list {
+		parts = append(parts, ExprString(e))
+	}
+	return strings.Join(parts, ", ")
+}
+
+func litString(v Value) string {
+	if v.kind == kindText {
+		return "'" + strings.ReplaceAll(v.s, "'", "''") + "'"
+	}
+	return v.String()
+}

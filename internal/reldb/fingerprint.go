@@ -1,0 +1,60 @@
+package reldb
+
+import "strings"
+
+// Fingerprint returns the normalized identity of a SQL statement for
+// statement-statistics aggregation: literals (numbers and strings) are
+// replaced with '?', keywords are upper-cased, identifiers lower-cased,
+// whitespace is canonicalized to single spaces, and trailing semicolons are
+// dropped. Statements that differ only in literal values or layout share a
+// fingerprint; statements with different shapes never do. Input that does
+// not lex falls back to plain whitespace collapse so every string gets
+// *some* stable fingerprint.
+func Fingerprint(sql string) string {
+	toks, err := lex(sql)
+	if err != nil {
+		return strings.Join(strings.Fields(sql), " ")
+	}
+	var b strings.Builder
+	b.Grow(len(sql))
+	prev := ""
+	for _, t := range toks {
+		if t.kind == tokEOF {
+			break
+		}
+		var text string
+		switch t.kind {
+		case tokKeyword:
+			text = t.text
+		case tokIdent:
+			text = strings.ToLower(t.text)
+		case tokNumber, tokString:
+			text = "?"
+		default:
+			text = t.text
+		}
+		if text == ";" {
+			continue
+		}
+		if b.Len() > 0 && !fpNoSpaceBefore(text) && !fpNoSpaceAfter(prev) {
+			b.WriteByte(' ')
+		}
+		b.WriteString(text)
+		prev = text
+	}
+	return b.String()
+}
+
+// fpNoSpaceBefore lists tokens that attach to the preceding token, so
+// "COUNT ( * )" renders as "COUNT(*)" and "a , b" as "a, b".
+func fpNoSpaceBefore(t string) bool {
+	switch t {
+	case ",", ")", ".", "(":
+		return true
+	}
+	return false
+}
+
+func fpNoSpaceAfter(t string) bool {
+	return t == "(" || t == "."
+}

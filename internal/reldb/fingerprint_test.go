@@ -1,0 +1,75 @@
+package reldb_test
+
+import (
+	"testing"
+
+	"igdb/internal/reldb"
+)
+
+func TestFingerprint(t *testing.T) {
+	tests := []struct {
+		name string
+		sql  string
+		want string
+	}{
+		{"literals stripped",
+			"SELECT name FROM cities WHERE pop > 100 AND country = 'US'",
+			"SELECT name FROM cities WHERE pop > ? AND country = ?"},
+		{"float and exponent literals",
+			"SELECT * FROM links WHERE km < 1.5e3 OFFSET 2",
+			"SELECT * FROM links WHERE km < ? OFFSET ?"},
+		{"keyword case canonicalized",
+			"select Name from Cities where POP > 7",
+			"SELECT name FROM cities WHERE pop > ?"},
+		{"whitespace canonicalized",
+			"SELECT\n\tname ,  pop\nFROM cities",
+			"SELECT name, pop FROM cities"},
+		{"trailing semicolon dropped",
+			"SELECT 1;",
+			"SELECT ?"},
+		{"comments dropped",
+			"SELECT 1 -- trailing note",
+			"SELECT ?"},
+		{"function calls keep shape",
+			"SELECT COUNT( * ), UPPER( name ) FROM cities GROUP BY country",
+			"SELECT COUNT(*), upper(name) FROM cities GROUP BY country"},
+		{"in list literals collapse per element",
+			"SELECT id FROM cities WHERE country IN ('US', 'FR')",
+			"SELECT id FROM cities WHERE country IN(?, ?)"},
+		{"explain prefix is part of the fingerprint",
+			"explain analyze SELECT id FROM cities",
+			"EXPLAIN ANALYZE SELECT id FROM cities"},
+		{"quoted identifiers lowercased",
+			`SELECT "Name" FROM cities`,
+			"SELECT name FROM cities"},
+		{"unlexable input falls back to whitespace collapse",
+			"SELECT   $bogus\n FROM x",
+			"SELECT $bogus FROM x"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := reldb.Fingerprint(tc.sql); got != tc.want {
+				t.Errorf("Fingerprint(%q) = %q, want %q", tc.sql, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestFingerprintGroupsVariants(t *testing.T) {
+	variants := []string{
+		"SELECT name FROM cities WHERE pop > 100",
+		"select name from cities where pop > 250",
+		"SELECT name\nFROM cities\nWHERE pop > 9999;",
+	}
+	base := reldb.Fingerprint(variants[0])
+	for _, v := range variants[1:] {
+		if got := reldb.Fingerprint(v); got != base {
+			t.Errorf("Fingerprint(%q) = %q, want %q (same as base)", v, got, base)
+		}
+	}
+	// Different shapes must not collide.
+	other := reldb.Fingerprint("SELECT name FROM cities WHERE pop < 100")
+	if other == base {
+		t.Errorf("different predicates share fingerprint %q", base)
+	}
+}

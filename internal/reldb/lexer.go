@@ -35,7 +35,7 @@ var keywords = map[string]bool{
 	"FLOAT": true, "TEXT": true, "VARCHAR": true, "BOOLEAN": true,
 	"BOOL": true, "TRUE": true, "FALSE": true, "COUNT": true, "SUM": true,
 	"AVG": true, "MIN": true, "MAX": true, "BETWEEN": true, "EXISTS": true,
-	"IF": true, "CROSS": true,
+	"IF": true, "CROSS": true, "EXPLAIN": true, "ANALYZE": true,
 }
 
 type lexer struct {

@@ -109,6 +109,14 @@ type SelectStmt struct {
 	Offset   int // 0 = none
 }
 
+// ExplainStmt is EXPLAIN [ANALYZE] <statement>. The wrapped statement is
+// planned (and, for ANALYZE, executed) rather than run directly; execution
+// produces a plan tree instead of the statement's own result set.
+type ExplainStmt struct {
+	Analyze bool
+	Stmt    Statement
+}
+
 func (*CreateTableStmt) stmt() {}
 func (*CreateIndexStmt) stmt() {}
 func (*DropTableStmt) stmt()   {}
@@ -116,6 +124,7 @@ func (*InsertStmt) stmt()      {}
 func (*DeleteStmt) stmt()      {}
 func (*UpdateStmt) stmt()      {}
 func (*SelectStmt) stmt()      {}
+func (*ExplainStmt) stmt()     {}
 
 // Expr is any SQL expression node.
 type Expr interface{ expr() }
@@ -262,9 +271,24 @@ func (p *parser) statement() (Statement, error) {
 		return p.update()
 	case "SELECT":
 		return p.selectStmt()
+	case "EXPLAIN":
+		return p.explain()
 	default:
 		return nil, fmt.Errorf("reldb: unsupported statement %q", t.text)
 	}
+}
+
+func (p *parser) explain() (Statement, error) {
+	p.pos++ // EXPLAIN
+	analyze := p.acceptKeyword("ANALYZE")
+	if p.cur().kind == tokKeyword && p.cur().text == "EXPLAIN" {
+		return nil, fmt.Errorf("reldb: cannot EXPLAIN an EXPLAIN")
+	}
+	inner, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	return &ExplainStmt{Analyze: analyze, Stmt: inner}, nil
 }
 
 func (p *parser) create() (Statement, error) {

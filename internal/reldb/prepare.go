@@ -22,36 +22,79 @@ var ErrNotSelect = errors.New("reldb: statement is not a SELECT")
 // A Stmt sees the table contents current at each Query call, not at Prepare
 // time; it is a cached plan, not a snapshot.
 type Stmt struct {
-	db     *DB
-	sel    *SelectStmt
-	sql    string
-	closed atomic.Bool
+	db      *DB
+	sel     *SelectStmt
+	explain *ExplainStmt // non-nil when the statement is EXPLAIN [ANALYZE]
+	sql     string
+	closed  atomic.Bool
 }
 
-// Prepare parses a SELECT once and returns a reusable statement. Any other
-// statement type returns ErrNotSelect; malformed SQL returns the parse
-// error. Safe for concurrent use, like all DB methods.
+// Prepare parses a read-only statement once and returns a reusable plan.
+// SELECT and EXPLAIN [ANALYZE] are accepted (plain EXPLAIN of any statement
+// is read-only planning; EXPLAIN ANALYZE requires a SELECT since execution
+// happens under a shared lock). Any other statement type returns
+// ErrNotSelect; malformed SQL returns the parse error. Safe for concurrent
+// use, like all DB methods.
 func (db *DB) Prepare(sql string) (*Stmt, error) {
 	st, err := ParseStatement(sql)
 	if err != nil {
 		return nil, err
 	}
-	sel, ok := st.(*SelectStmt)
-	if !ok {
+	switch s := st.(type) {
+	case *SelectStmt:
+		return &Stmt{db: db, sel: s, sql: sql}, nil
+	case *ExplainStmt:
+		if s.Analyze {
+			if _, ok := s.Stmt.(*SelectStmt); !ok {
+				return nil, fmt.Errorf("%w (EXPLAIN ANALYZE of %s)", ErrNotSelect, StatementKind(s.Stmt))
+			}
+		}
+		return &Stmt{db: db, explain: s, sql: sql}, nil
+	default:
 		return nil, fmt.Errorf("%w (got %s)", ErrNotSelect, StatementKind(st))
 	}
-	return &Stmt{db: db, sel: sel, sql: sql}, nil
+}
+
+// IsExplain reports whether the prepared statement is an EXPLAIN (with or
+// without ANALYZE).
+func (s *Stmt) IsExplain() bool { return s.explain != nil }
+
+// IsAnalyze reports whether the prepared statement is an EXPLAIN ANALYZE.
+func (s *Stmt) IsAnalyze() bool { return s.explain != nil && s.explain.Analyze }
+
+// Explain runs the prepared EXPLAIN and returns the structured plan tree
+// (freshly planned — and for ANALYZE freshly executed — per call, so
+// timings and row counts reflect the current table contents). Returns
+// ErrNotSelect when the statement is not an EXPLAIN.
+func (s *Stmt) Explain() (*PlanNode, error) {
+	if s.closed.Load() {
+		return nil, ErrStmtClosed
+	}
+	if s.explain == nil {
+		return nil, fmt.Errorf("%w (statement is not EXPLAIN)", ErrNotSelect)
+	}
+	s.db.mu.RLock()
+	defer s.db.mu.RUnlock()
+	return s.db.explainLocked(s.explain)
 }
 
 // Query executes the prepared plan against the current table contents. The
 // plan is shared and never mutated by execution, so concurrent Query calls
-// on one Stmt are safe.
+// on one Stmt are safe. EXPLAIN statements yield the plan tree as
+// single-column text rows.
 func (s *Stmt) Query() (*Rows, error) {
 	if s.closed.Load() {
 		return nil, ErrStmtClosed
 	}
 	s.db.mu.RLock()
 	defer s.db.mu.RUnlock()
+	if s.explain != nil {
+		plan, err := s.db.explainLocked(s.explain)
+		if err != nil {
+			return nil, err
+		}
+		return plan.Rows(), nil
+	}
 	return s.db.execSelect(s.sel)
 }
 
@@ -85,6 +128,8 @@ func StatementKind(st Statement) string {
 		return "CREATE INDEX"
 	case *DropTableStmt:
 		return "DROP TABLE"
+	case *ExplainStmt:
+		return "EXPLAIN"
 	default:
 		return fmt.Sprintf("%T", st)
 	}

@@ -48,6 +48,11 @@ func (s Schema) hasColumn(table, col string) bool {
 // semantic half of "parse-only validation": ParseStatement proves the SQL
 // is well-formed, ValidateStatement proves it still matches the schema.
 func ValidateStatement(st Statement, schema Schema) []string {
+	if ex, ok := st.(*ExplainStmt); ok {
+		// EXPLAIN is transparent to validation: the wrapped statement's
+		// references are what must hold against the schema.
+		return ValidateStatement(ex.Stmt, schema)
+	}
 	v := &validator{schema: schema}
 	switch s := st.(type) {
 	case *CreateTableStmt:

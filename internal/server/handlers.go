@@ -29,12 +29,14 @@ type sqlResult struct {
 	Truncated bool            `json:"truncated,omitempty"`
 }
 
-// sqlResponse is the full POST /sql envelope.
+// sqlResponse is the full POST /sql envelope. Plan is present only for
+// EXPLAIN statements: the structured plan tree mirroring the text rows.
 type sqlResponse struct {
 	sqlResult
-	Cached      bool    `json:"cached"`
-	SnapshotSeq uint64  `json:"snapshot_seq"`
-	ElapsedMs   float64 `json:"elapsed_ms"`
+	Cached      bool            `json:"cached"`
+	SnapshotSeq uint64          `json:"snapshot_seq"`
+	ElapsedMs   float64         `json:"elapsed_ms"`
+	Plan        *reldb.PlanNode `json:"plan,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {
@@ -80,32 +82,68 @@ func readSQL(r *http.Request) (string, error) {
 	return trimmed, nil
 }
 
-// handleSQL serves POST /sql: read-only SELECT against the current
-// snapshot, with plan and result caching. DDL/DML is refused with 403
-// before touching the database.
+// attachPlanSpans mirrors an EXPLAIN ANALYZE plan tree into the request's
+// span tree so slow-query traces show parse → exec → per-operator stages.
+// The executor records operator durations but not start offsets, so every
+// operator span shares its stage's start instant.
+func attachPlanSpans(parent *obs.Span, n *reldb.PlanNode, start time.Time) {
+	if parent == nil || n == nil {
+		return
+	}
+	var d time.Duration
+	attrs := make([]obs.Field, 0, 4)
+	if n.Table != "" {
+		attrs = append(attrs, obs.F("table", n.Table))
+	}
+	if n.Actual != nil {
+		d = time.Duration(n.Actual.TimeMs * float64(time.Millisecond))
+		attrs = append(attrs,
+			obs.F("rows_in", n.Actual.RowsIn),
+			obs.F("rows_out", n.Actual.RowsOut),
+			obs.F("loops", n.Actual.Loops))
+	}
+	child := parent.AddTimed("op:"+n.Op, start, d, attrs...)
+	for _, c := range n.Children {
+		attachPlanSpans(child, c, start)
+	}
+}
+
+// handleSQL serves POST /sql: read-only SELECT (or EXPLAIN / EXPLAIN
+// ANALYZE) against the current snapshot, with plan and result caching.
+// DDL/DML is refused with 403 before touching the database. Every request
+// contributes a sample to the per-fingerprint statement statistics.
 func (s *Server) handleSQL(w http.ResponseWriter, r *http.Request) {
 	t0 := time.Now()
-	var qSQL string
+	sp := obs.StartTrace("sql")
+	var qSQL, qFP string
 	var qRows int
 	var qCached bool
 	var qErr string
+	var smpl stmtSample
 	defer func() {
-		if s.qlog == nil || qSQL == "" {
-			return
-		}
+		sp.End()
 		elapsed := time.Since(t0)
-		if elapsed < s.slowMin {
+		if qFP != "" {
+			smpl.total = elapsed
+			smpl.rows = qRows
+			smpl.err = qErr != ""
+			smpl.resultHit = qCached
+			s.stmts.record(qFP, smpl)
+		}
+		if s.qlog == nil || qSQL == "" || elapsed < s.slowMin {
 			return
 		}
 		s.metrics.slowQueries.Add(1)
 		s.qlog.add(QueryLogEntry{
-			Time:       t0,
-			RequestID:  RequestID(r),
-			SQL:        qSQL,
-			Rows:       qRows,
-			DurationMs: float64(elapsed) / float64(time.Millisecond),
-			CacheHit:   qCached,
-			Err:        qErr,
+			Time:        t0,
+			RequestID:   RequestID(r),
+			SQL:         qSQL,
+			Fingerprint: qFP,
+			Rows:        qRows,
+			DurationMs:  float64(elapsed) / float64(time.Millisecond),
+			CacheHit:    qCached,
+			Err:         qErr,
+			Trace:       traceFromSpan(sp),
 		})
 	}()
 	sql, err := readSQL(r)
@@ -115,6 +153,7 @@ func (s *Server) handleSQL(w http.ResponseWriter, r *http.Request) {
 	}
 	qSQL = sql
 	norm := normalizeSQL(sql)
+	qFP = reldb.Fingerprint(norm)
 	snap := s.current()
 
 	if snap.results != nil {
@@ -134,9 +173,14 @@ func (s *Server) handleSQL(w http.ResponseWriter, r *http.Request) {
 	stmt, ok := snap.plans.Get(norm)
 	if ok {
 		s.metrics.planHits.Add(1)
+		smpl.planHit = true
 	} else {
 		s.metrics.planMisses.Add(1)
+		psp := sp.Start("parse")
+		pt0 := time.Now()
 		stmt, err = snap.g.Rel.Prepare(norm)
+		smpl.parse = time.Since(pt0)
+		psp.End()
 		if errors.Is(err, reldb.ErrNotSelect) {
 			qErr = err.Error()
 			writeError(w, http.StatusForbidden, "read-only API: %v", err)
@@ -149,10 +193,11 @@ func (s *Server) handleSQL(w http.ResponseWriter, r *http.Request) {
 		}
 		snap.plans.Put(norm, stmt)
 	}
-	if snap.results != nil {
-		// Counted here, not at lookup time, so rejected writes and parse
-		// errors — which can never produce a cacheable result — do not
-		// drag the hit rate down.
+	isExplain := stmt.IsExplain()
+	if snap.results != nil && !isExplain {
+		// Counted here, not at lookup time, so rejected writes, parse
+		// errors, and EXPLAIN — which can never produce a cacheable
+		// result — do not drag the hit rate down.
 		s.metrics.resultMisses.Add(1)
 	}
 
@@ -162,23 +207,40 @@ func (s *Server) handleSQL(w http.ResponseWriter, r *http.Request) {
 	// handler, so abandoned queries cannot pile up unboundedly.
 	type outcome struct {
 		rows *reldb.Rows
+		plan *reldb.PlanNode
 		err  error
 	}
 	done := make(chan outcome, 1)
+	esp := sp.Start("exec")
+	et0 := time.Now()
 	go func() {
+		if isExplain {
+			plan, qerr := stmt.Explain()
+			done <- outcome{plan: plan, err: qerr}
+			return
+		}
 		rows, qerr := stmt.Query()
-		done <- outcome{rows, qerr}
+		done <- outcome{rows: rows, err: qerr}
 	}()
 	var rows *reldb.Rows
+	var plan *reldb.PlanNode
 	select {
 	case out := <-done:
+		smpl.exec = time.Since(et0)
+		esp.End()
 		if out.err != nil {
 			qErr = out.err.Error()
 			writeError(w, http.StatusBadRequest, "%v", out.err)
 			return
 		}
-		rows = out.rows
+		rows, plan = out.rows, out.plan
+		if plan != nil {
+			rows = plan.Rows()
+			attachPlanSpans(esp, plan, et0)
+		}
 	case <-r.Context().Done():
+		smpl.exec = time.Since(et0)
+		esp.End()
 		s.metrics.rejected.Add(1)
 		qErr = "query exceeded the request deadline"
 		writeError(w, http.StatusGatewayTimeout, "query exceeded the request deadline")
@@ -200,13 +262,16 @@ func (s *Server) handleSQL(w http.ResponseWriter, r *http.Request) {
 		}
 		res.Rows[i] = row
 	}
-	if snap.results != nil {
+	if snap.results != nil && !isExplain {
+		// EXPLAIN ANALYZE re-executes on every call by design; caching its
+		// one-shot plan text would serve stale actuals.
 		snap.results.Put(norm, res)
 	}
 	writeJSON(w, http.StatusOK, sqlResponse{
 		sqlResult:   *res,
 		SnapshotSeq: snap.seq,
 		ElapsedMs:   float64(time.Since(t0)) / float64(time.Millisecond),
+		Plan:        plan,
 	})
 }
 
@@ -539,6 +604,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	g := snapGauges{
 		collectRetries: ingest.RetriesTotal(),
 		repl:           s.replicaGauges(),
+		stmt:           s.stmts.totals(),
 	}
 	if snap := s.current(); snap != nil {
 		if snap.g.Degraded() || snap.pipe == nil || s.LastRebuildError() != nil {

@@ -121,6 +121,7 @@ type snapGauges struct {
 	simScenarios   int           // scenarios simulated against the serving snapshot
 	simTime        time.Duration // wall time of that simulation batch
 	repl           replGauges    // replication role, lag, and leader seq
+	stmt           stmtTotals    // statement-statistics aggregator sums
 }
 
 // replGauges is the point-in-time replication state sampled at scrape time.
@@ -244,6 +245,21 @@ func (m *Metrics) WriteTo(w io.Writer, g snapGauges) {
 	fmt.Fprintf(w, "igdb_simulate_snapshot_scenarios %d\n", g.simScenarios)
 	help(w, "igdb_simulate_snapshot_seconds", "gauge", "Wall time of the serving snapshot's simulation batch.")
 	fmt.Fprintf(w, "igdb_simulate_snapshot_seconds %g\n", g.simTime.Seconds())
+
+	help(w, "igdb_sql_statements", "gauge", "Distinct statement fingerprints tracked by the statement-statistics aggregator.")
+	fmt.Fprintf(w, "igdb_sql_statements %d\n", g.stmt.distinct)
+	help(w, "igdb_sql_calls_total", "counter", "POST /sql executions aggregated by statement fingerprint.")
+	fmt.Fprintf(w, "igdb_sql_calls_total %d\n", g.stmt.calls)
+	help(w, "igdb_sql_errors_total", "counter", "POST /sql executions that returned an error, across all fingerprints.")
+	fmt.Fprintf(w, "igdb_sql_errors_total %d\n", g.stmt.errors)
+	help(w, "igdb_sql_rows_total", "counter", "Result rows produced by POST /sql, across all fingerprints.")
+	fmt.Fprintf(w, "igdb_sql_rows_total %d\n", g.stmt.rows)
+	help(w, "igdb_sql_parse_seconds_total", "counter", "Wall time spent parsing and planning /sql statements (plan-cache misses only).")
+	fmt.Fprintf(w, "igdb_sql_parse_seconds_total %g\n", float64(g.stmt.parseNs)/1e9)
+	help(w, "igdb_sql_exec_seconds_total", "counter", "Wall time spent executing /sql statements.")
+	fmt.Fprintf(w, "igdb_sql_exec_seconds_total %g\n", float64(g.stmt.execNs)/1e9)
+	help(w, "igdb_sql_dropped_total", "counter", "Executions not attributed to a fingerprint because the statement table was at capacity.")
+	fmt.Fprintf(w, "igdb_sql_dropped_total %d\n", g.stmt.dropped)
 
 	help(w, "igdb_replica_role", "gauge", "Replication role: 0 standalone, 1 leader, 2 follower.")
 	fmt.Fprintf(w, "igdb_replica_role %d\n", g.repl.num())

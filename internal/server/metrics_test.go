@@ -105,6 +105,9 @@ func TestMetricsExposition(t *testing.T) {
 		"igdb_requests_total", "igdb_request_duration_ms", "igdb_slow_queries_total",
 		"igdb_source_load_seconds", "igdb_source_rows", "igdb_build_stage_seconds",
 		"igdb_collect_retries_total",
+		"igdb_sql_statements", "igdb_sql_calls_total", "igdb_sql_errors_total",
+		"igdb_sql_rows_total", "igdb_sql_parse_seconds_total",
+		"igdb_sql_exec_seconds_total", "igdb_sql_dropped_total",
 	} {
 		if !samplesSeen[name] {
 			t.Errorf("metric %s exposed no samples", name)

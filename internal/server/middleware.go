@@ -146,6 +146,7 @@ func (s *Server) routes() {
 	s.mux.Handle("GET /healthz", s.wrap("/healthz", false, s.handleHealthz))
 	s.mux.Handle("GET /metrics", s.wrap("/metrics", false, s.handleMetrics))
 	s.mux.Handle("GET /debug/queries", s.wrap("/debug/queries", false, s.handleQueryLog))
+	s.mux.Handle("GET /debug/statements", s.wrap("/debug/statements", false, s.handleStatements))
 	if s.cfg.Leader {
 		// Replication traffic is exempt from the query limiter: a saturated
 		// query tier must not starve followers into staleness.

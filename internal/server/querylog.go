@@ -4,18 +4,59 @@ import (
 	"net/http"
 	"sync"
 	"time"
+
+	"igdb/internal/obs"
 )
 
 // QueryLogEntry is one recorded /sql statement that crossed the slow-query
-// threshold (or any statement when the threshold is negative).
+// threshold (or any statement when the threshold is negative). Fingerprint
+// links the entry to its aggregate under GET /debug/statements.
 type QueryLogEntry struct {
-	Time       time.Time `json:"time"`
-	RequestID  string    `json:"request_id,omitempty"`
-	SQL        string    `json:"sql"`
-	Rows       int       `json:"rows"`
-	DurationMs float64   `json:"duration_ms"`
-	CacheHit   bool      `json:"cache_hit"`
-	Err        string    `json:"error,omitempty"`
+	Time        time.Time   `json:"time"`
+	RequestID   string      `json:"request_id,omitempty"`
+	SQL         string      `json:"sql"`
+	Fingerprint string      `json:"fingerprint,omitempty"`
+	Rows        int         `json:"rows"`
+	DurationMs  float64     `json:"duration_ms"`
+	CacheHit    bool        `json:"cache_hit"`
+	Err         string      `json:"error,omitempty"`
+	Trace       []TraceSpan `json:"trace,omitempty"`
+}
+
+// TraceSpan is one executor span flattened for the slow-query log: where a
+// slow statement actually spent its time (parse, exec, and — under EXPLAIN
+// ANALYZE — each plan operator).
+type TraceSpan struct {
+	Name       string                 `json:"name"`
+	Parent     string                 `json:"parent,omitempty"`
+	StartMs    float64                `json:"start_ms"`
+	DurationMs float64                `json:"duration_ms"`
+	Attrs      map[string]interface{} `json:"attrs,omitempty"`
+}
+
+// traceFromSpan flattens a finished span tree into TraceSpan rows.
+func traceFromSpan(sp *obs.Span) []TraceSpan {
+	infos := sp.Flatten()
+	if len(infos) == 0 {
+		return nil
+	}
+	out := make([]TraceSpan, len(infos))
+	for i, in := range infos {
+		ts := TraceSpan{
+			Name:       in.Name,
+			Parent:     in.Parent,
+			StartMs:    in.StartMs,
+			DurationMs: in.DurationMs,
+		}
+		if len(in.Attrs) > 0 {
+			ts.Attrs = make(map[string]interface{}, len(in.Attrs))
+			for _, f := range in.Attrs {
+				ts.Attrs[f.Key] = f.Val
+			}
+		}
+		out[i] = ts
+	}
+	return out
 }
 
 // queryLog is a fixed-capacity ring buffer of slow queries. Writers never

@@ -89,6 +89,10 @@ type Config struct {
 	SlowQueryMin time.Duration
 	// QueryLogSize is the slow-query ring-buffer capacity (default 128).
 	QueryLogSize int
+	// StmtStatsSize caps how many distinct statement fingerprints the
+	// /debug/statements aggregator tracks (default 512); executions of
+	// fingerprints beyond the cap are only counted in aggregate.
+	StmtStatsSize int
 	// EnablePprof mounts net/http/pprof under GET /debug/pprof/.
 	EnablePprof bool
 	// SimulateScenarios, when positive, runs a Monte-Carlo what-if failure
@@ -207,6 +211,7 @@ type Server struct {
 	mux     *http.ServeMux
 	logger  *obs.Logger
 	qlog    *queryLog
+	stmts   *stmtStats
 	slowMin time.Duration // threshold for the slow-query log; 0 records all
 
 	// fetcher pulls snapshots from the leader (followers only).
@@ -258,6 +263,7 @@ func New(cfg Config) (*Server, error) {
 		sem:     make(chan struct{}, cfg.MaxConcurrency),
 		logger:  cfg.resolveLogger(),
 		qlog:    newQueryLog(cfg.QueryLogSize),
+		stmts:   newStmtStats(cfg.StmtStatsSize),
 		slowMin: slowMin,
 	}
 	if cfg.LeaderURL != "" {

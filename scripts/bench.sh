@@ -4,7 +4,9 @@
 # Runs the SQL-serving throughput benchmark (with and without the result
 # cache), the reldb prepared-vs-parse benchmark, and the traced-vs-untraced
 # build benchmark, then writes the parsed results to BENCH_serve.json at the
-# repo root.
+# repo root. A second pass runs the per-operator executor benchmarks and the
+# EXPLAIN-overhead comparison into BENCH_reldb.json (ns/op plus rows/s where
+# the benchmark reports it).
 #
 # Usage:
 #   scripts/bench.sh            # full run (benchtime from BENCHTIME, default 1s)
@@ -45,3 +47,34 @@ END   { printf "\n]\n" }
 ' "$tmp" > "$out"
 
 echo "bench.sh: wrote $(grep -c '"benchmark"' "$out") results to $out"
+
+# Per-operator executor instrumentation benchmarks. These report a custom
+# rows/s metric alongside ns/op, so they get their own artifact and parser.
+relout=BENCH_reldb.json
+reltmp=$(mktemp)
+trap 'rm -f "$tmp" "$reltmp"' EXIT
+
+go test -run '^$' -bench 'BenchmarkOperators|BenchmarkExplainOverhead' \
+    -benchtime "$benchtime" ./internal/reldb/ | tee "$reltmp"
+
+awk '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    iters = $2
+    nsop = ""; rps = ""
+    for (i = 3; i < NF; i++) {
+        if ($(i + 1) == "ns/op") nsop = $i
+        if ($(i + 1) == "rows/s") rps = $i
+    }
+    if (nsop == "") next
+    if (count++) printf ",\n"
+    printf "  {\"benchmark\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, iters, nsop
+    if (rps != "") printf ", \"rows_per_sec\": %s", rps
+    printf "}"
+}
+BEGIN { printf "[\n" }
+END   { printf "\n]\n" }
+' "$reltmp" > "$relout"
+
+echo "bench.sh: wrote $(grep -c '"benchmark"' "$relout") results to $relout"

@@ -45,8 +45,9 @@ go test -race ./internal/replicate/
 scripts/bench.sh --smoke
 
 # Smoke the load generator end to end: a real leader + follower pair on a
-# tiny store, corpus replay against both, and a leader killed mid-stream
-# with the follower's error rate asserted to be exactly zero.
+# tiny store, corpus replay against both, EXPLAIN ANALYZE and
+# /debug/statements asserted against the live leader, and a leader killed
+# mid-stream with the follower's error rate asserted to be exactly zero.
 scripts/loadgen.sh --smoke
 
 # Smoke the what-if failure engine: a tiny deterministic scenario batch

@@ -75,8 +75,29 @@ run() { # $1 = report name, $2 = target URL
     echo "loadgen.sh: $1: $(grep -E '"(rps|p99_ms|error_rate)"' "$work/$1.json" | tr -d ' \n')"
 }
 
+# Observability smoke against the live leader: EXPLAIN ANALYZE must return
+# an instrumented plan, and after a loadgen run /debug/statements must hold
+# per-fingerprint aggregates.
+explain_out=$(curl -sf --max-time 5 -X POST "$leader_url/sql" \
+    -d 'EXPLAIN ANALYZE SELECT asn, country FROM asn_loc LIMIT 5')
+case "$explain_out" in
+*'"plan"'*'actual'*) ;;
+*)
+    echo "loadgen.sh: EXPLAIN ANALYZE over POST /sql returned no instrumented plan:" >&2
+    echo "$explain_out" >&2
+    exit 1
+    ;;
+esac
+echo "loadgen.sh: EXPLAIN ANALYZE smoke passed on the leader"
+
 run LoadgenLeader "$leader_url"
 run LoadgenFollower "$follower_url"
+
+if ! curl -sf --max-time 5 "$leader_url/debug/statements" | grep -q '"fingerprint"'; then
+    echo "loadgen.sh: /debug/statements holds no fingerprints after a loadgen run" >&2
+    exit 1
+fi
+echo "loadgen.sh: /debug/statements aggregated the loadgen run"
 
 # Failover run: kill the leader partway through a follower-directed run.
 # The follower keeps serving its last good snapshot, so its error rate must
