@@ -33,8 +33,9 @@ var frozenFlags = []string{
 
 // frozenLintFlags freezes cmd/igdblint's surface the same way: -bench
 // (benchmark artifact), -json (machine-readable report), -rules (analyzer
-// listing). Scripts and CI depend on these spellings.
-var frozenLintFlags = []string{"bench", "json", "rules"}
+// listing), -workers (package-phase worker count; output is identical for
+// any value). Scripts and CI depend on these spellings.
+var frozenLintFlags = []string{"bench", "json", "rules", "workers"}
 
 // flagMethods maps flag.FlagSet registration methods to the index of their
 // name argument.

@@ -11,6 +11,7 @@ import (
 	"net/http"
 	"net/url"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"sort"
 	"strconv"
@@ -58,12 +59,17 @@ func cmdLoadgen(args []string) error {
 	base := strings.TrimRight(*target, "/")
 	client := &http.Client{Timeout: 15 * time.Second}
 
+	// Interrupt cancels corpus validation and the timed run alike; every
+	// request below carries this context.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	// The target must be up before we attribute anything to it.
-	if err := probeHealthz(client, base); err != nil {
+	if err := probeHealthz(ctx, client, base); err != nil {
 		return fmt.Errorf("target %s is not serving: %v", base, err)
 	}
 
-	classes, err := prepareClasses(client, base, *corpus, weights)
+	classes, err := prepareClasses(ctx, client, base, *corpus, weights)
 	if err != nil {
 		return err
 	}
@@ -71,7 +77,7 @@ func cmdLoadgen(args []string) error {
 		return fmt.Errorf("no usable traffic classes (mix %q)", *mix)
 	}
 
-	report := runLoad(client, classes, *concurrency, *duration, *seed)
+	report := runLoad(ctx, client, classes, *concurrency, *duration, *seed)
 	report.Benchmark = *name
 	report.Target = base
 
@@ -144,7 +150,7 @@ func sqlReq(url, query string) func(ctx context.Context, c *http.Client) (*http.
 // prepareClasses validates each requested class against the live target
 // and drops requests the server cannot answer, so the timed run measures
 // server health, not corpus quality.
-func prepareClasses(client *http.Client, base, corpusDir string, weights map[string]int) ([]*loadClass, error) {
+func prepareClasses(ctx context.Context, client *http.Client, base, corpusDir string, weights map[string]int) ([]*loadClass, error) {
 	var classes []*loadClass
 	if w := weights["sql"]; w > 0 {
 		queries, err := readFuzzCorpus(corpusDir)
@@ -153,13 +159,13 @@ func prepareClasses(client *http.Client, base, corpusDir string, weights map[str
 		}
 		// The EXPLAIN ANALYZE smoke runs first: a target that cannot plan
 		// and instrument the reference query is not worth load-testing.
-		if status, err := issueOnce(client, sqlReq(base, explainSmokeSQL)); err != nil || status != http.StatusOK {
+		if status, err := issueOnce(ctx, client, sqlReq(base, explainSmokeSQL)); err != nil || status != http.StatusOK {
 			return nil, fmt.Errorf("EXPLAIN ANALYZE smoke failed against %s (status %d, err %v)", base, status, err)
 		}
 		cls := &loadClass{name: "sql", weight: w}
 		dropped := 0
 		for _, q := range queries {
-			if status, err := issueOnce(client, sqlReq(base, q)); err != nil || status != http.StatusOK {
+			if status, err := issueOnce(ctx, client, sqlReq(base, q)); err != nil || status != http.StatusOK {
 				dropped++
 				continue
 			}
@@ -176,7 +182,7 @@ func prepareClasses(client *http.Client, base, corpusDir string, weights map[str
 		cls := &loadClass{name: "export", weight: w}
 		for _, layer := range render.Layers() {
 			req := getReq(base + "/export/" + layer)
-			if status, err := issueOnce(client, req); err == nil && status == http.StatusOK {
+			if status, err := issueOnce(ctx, client, req); err == nil && status == http.StatusOK {
 				cls.issue = append(cls.issue, req)
 			}
 		}
@@ -188,14 +194,14 @@ func prepareClasses(client *http.Client, base, corpusDir string, weights map[str
 	}
 	if w := weights["path"]; w > 0 {
 		cls := &loadClass{name: "path", weight: w}
-		pairs, err := discoverPathPairs(client, base)
+		pairs, err := discoverPathPairs(ctx, client, base)
 		if err != nil {
 			logger.Warn("path class dropped", obs.F("err", err))
 		}
 		for _, p := range pairs {
 			// Metro labels can hold spaces ("Kansas City-US"); escape them.
 			req := getReq(base + "/path?src=" + url.QueryEscape(p[0]) + "&dst=" + url.QueryEscape(p[1]))
-			if status, err := issueOnce(client, req); err == nil && status == http.StatusOK {
+			if status, err := issueOnce(ctx, client, req); err == nil && status == http.StatusOK {
 				cls.issue = append(cls.issue, req)
 			}
 		}
@@ -246,9 +252,14 @@ func readFuzzCorpus(dir string) ([]string, error) {
 
 // discoverPathPairs asks the target for std_paths endpoints, whose metro
 // pairs are connected by construction.
-func discoverPathPairs(client *http.Client, base string) ([][2]string, error) {
-	resp, err := client.Post(base+"/sql", "text/plain", strings.NewReader(
+func discoverPathPairs(ctx context.Context, client *http.Client, base string) ([][2]string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/sql", strings.NewReader(
 		`SELECT from_metro, from_country, to_metro, to_country FROM std_paths LIMIT 64`))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "text/plain")
+	resp, err := client.Do(req)
 	if err != nil {
 		return nil, err
 	}
@@ -282,8 +293,12 @@ func discoverPathPairs(client *http.Client, base string) ([][2]string, error) {
 	return pairs, nil
 }
 
-func probeHealthz(client *http.Client, base string) error {
-	resp, err := client.Get(base + "/healthz")
+func probeHealthz(ctx context.Context, client *http.Client, base string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
 	if err != nil {
 		return err
 	}
@@ -294,8 +309,8 @@ func probeHealthz(client *http.Client, base string) error {
 
 // issueOnce sends one request and reports the status, draining the body so
 // connections are reused.
-func issueOnce(client *http.Client, mk func(ctx context.Context, c *http.Client) (*http.Request, error)) (int, error) {
-	req, err := mk(context.Background(), client)
+func issueOnce(ctx context.Context, client *http.Client, mk func(ctx context.Context, c *http.Client) (*http.Request, error)) (int, error) {
+	req, err := mk(ctx, client)
 	if err != nil {
 		return 0, err
 	}
@@ -360,7 +375,7 @@ type sample struct {
 
 // runLoad drives the prepared classes with a worker pool for the given
 // duration and aggregates percentiles.
-func runLoad(client *http.Client, classes []*loadClass, concurrency int, duration time.Duration, seed int64) *loadReport {
+func runLoad(ctx context.Context, client *http.Client, classes []*loadClass, concurrency int, duration time.Duration, seed int64) *loadReport {
 	if concurrency < 1 {
 		concurrency = 1
 	}
@@ -371,7 +386,7 @@ func runLoad(client *http.Client, classes []*loadClass, concurrency int, duratio
 		total += c.weight
 		cum[i] = total
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), duration)
+	ctx, cancel := context.WithTimeout(ctx, duration)
 	defer cancel()
 
 	results := make([][]sample, concurrency)

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// hangingServer answers only after its context is released — any request
+// against it must be cut off by the caller's context to return promptly.
+func hangingServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	release := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-release:
+		case <-r.Context().Done():
+		}
+	}))
+	t.Cleanup(func() {
+		close(release)
+		srv.Close()
+	})
+	return srv
+}
+
+// TestProbeHealthzObservesContext: cancelling the context aborts the
+// health probe instead of waiting out the client timeout.
+func TestProbeHealthzObservesContext(t *testing.T) {
+	srv := hangingServer(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := probeHealthz(ctx, srv.Client(), srv.URL)
+	if err == nil {
+		t.Fatal("probeHealthz succeeded against a hanging server")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context deadline", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("probe took %v; request ignored the context", elapsed)
+	}
+}
+
+// TestIssueOnceObservesContext: the request builder receives the caller's
+// context, so cancellation aborts in-flight validation requests.
+func TestIssueOnceObservesContext(t *testing.T) {
+	srv := hangingServer(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := issueOnce(ctx, srv.Client(), getReq(srv.URL+"/healthz"))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context deadline", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("issueOnce took %v; request ignored the context", elapsed)
+	}
+}
+
+// TestDiscoverPathPairsObservesContext: discovery carries the context and
+// sets the SQL content type on its request.
+func TestDiscoverPathPairsObservesContext(t *testing.T) {
+	srv := hangingServer(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	_, err := discoverPathPairs(ctx, srv.Client(), srv.URL)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context deadline", err)
+	}
+}

@@ -25,9 +25,11 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -181,7 +183,11 @@ func cmdCollect(args []string) error {
 	w := worldgen.Generate(cfg)
 	store := ingest.NewStore(*dir)
 	asOf := time.Now().UTC().Truncate(time.Second)
-	report, err := ingest.CollectWith(w, store, asOf, ingest.CollectOptions{
+	// Interrupt aborts the retry backoff instead of leaving the CLI
+	// sleeping through an exhausted source's delay schedule.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	report, err := ingest.CollectWith(ctx, w, store, asOf, ingest.CollectOptions{
 		MaxAttempts:     *retries,
 		ContinueOnError: *contOnErr,
 		Logger:          logger,

@@ -19,6 +19,7 @@ import (
 var goldenDirs = []string{
 	"errdrop", "logdisc", "metrics", "guarded", "sqlbad",
 	"lockorder", "leakcheck", "closecheck",
+	"callgraph", "snapsafe", "ctxcheck",
 	"directives", "clean",
 }
 
@@ -113,21 +114,29 @@ func TestGoldenCorpus(t *testing.T) {
 // TestGoldenDeterministic replays every corpus package twice and requires
 // byte-identical findings in sorted (file, line, col, rule, message)
 // order — the corpus is a regression baseline, so the replay must be
-// deterministic across runs.
+// deterministic across runs. A third run with an explicit multi-worker
+// driver must match the serial baseline exactly: the parallel scheduler
+// may reorder execution, never output.
 func TestGoldenDeterministic(t *testing.T) {
-	lintDir := func(dir string) []lint.Finding {
+	lintDir := func(dir string, workers int) []lint.Finding {
 		rel := filepath.Join("testdata", "src", "internal", dir)
 		pkgs, fset, err := lint.Load([]string{"./" + rel})
 		if err != nil {
 			t.Fatalf("loading corpus %s: %v", dir, err)
 		}
-		return lint.NewLinter().Run(pkgs, fset)
+		l := lint.NewLinter()
+		l.Workers = workers
+		return l.Run(pkgs, fset)
 	}
 	for _, dir := range goldenDirs {
-		first := lintDir(dir)
-		second := lintDir(dir)
+		first := lintDir(dir, 1)
+		second := lintDir(dir, 1)
 		if !reflect.DeepEqual(first, second) {
 			t.Errorf("%s: two lint runs disagree:\nfirst:  %v\nsecond: %v", dir, first, second)
+		}
+		parallel := lintDir(dir, 4)
+		if !reflect.DeepEqual(first, parallel) {
+			t.Errorf("%s: -workers=4 disagrees with -workers=1:\nserial:   %v\nparallel: %v", dir, first, parallel)
 		}
 		sorted := sort.SliceIsSorted(first, func(i, j int) bool {
 			a, b := first[i], first[j]
@@ -147,6 +156,29 @@ func TestGoldenDeterministic(t *testing.T) {
 		})
 		if !sorted {
 			t.Errorf("%s: findings are not in sorted order: %v", dir, first)
+		}
+	}
+
+	// The per-dir runs hand the driver one package at a time; loading the
+	// whole corpus in one call gives the scheduler real fan-out, and the
+	// findings must still be byte-identical for any worker count.
+	patterns := make([]string, len(goldenDirs))
+	for i, dir := range goldenDirs {
+		patterns[i] = "./" + filepath.Join("testdata", "src", "internal", dir)
+	}
+	lintAll := func(workers int) []lint.Finding {
+		pkgs, fset, err := lint.Load(patterns)
+		if err != nil {
+			t.Fatalf("loading full corpus: %v", err)
+		}
+		l := lint.NewLinter()
+		l.Workers = workers
+		return l.Run(pkgs, fset)
+	}
+	serial := lintAll(1)
+	for _, workers := range []int{2, 4} {
+		if got := lintAll(workers); !reflect.DeepEqual(serial, got) {
+			t.Errorf("full corpus: -workers=%d disagrees with -workers=1:\nserial:   %v\nparallel: %v", workers, serial, got)
 		}
 	}
 }

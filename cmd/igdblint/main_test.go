@@ -10,7 +10,7 @@ import (
 	"igdb/internal/lint"
 )
 
-// TestRulesFlag locks the -rules listing: exactly the nine analyzers in
+// TestRulesFlag locks the -rules listing: exactly the twelve analyzers in
 // registration order, each with a one-line doc. directive must stay last —
 // it reports unused suppressions after every other analyzer has run.
 func TestRulesFlag(t *testing.T) {
@@ -21,7 +21,8 @@ func TestRulesFlag(t *testing.T) {
 	lines := strings.Split(strings.TrimRight(out.String(), "\n"), "\n")
 	want := []string{
 		"sqlcheck", "errdrop", "logdiscipline", "metriclint",
-		"guardedby", "lockorder", "leakcheck", "closecheck", "directive",
+		"guardedby", "lockorder", "leakcheck", "closecheck",
+		"callgraph", "snapshotsafe", "contextcheck", "directive",
 	}
 	if len(lines) != len(want) {
 		t.Fatalf("expected %d analyzer lines, got %d:\n%s", len(want), len(lines), out.String())
@@ -49,8 +50,8 @@ func TestJSONCleanPackage(t *testing.T) {
 	if rep.Findings == nil || len(rep.Findings) != 0 {
 		t.Fatalf("want empty findings array, got %v", rep.Findings)
 	}
-	if len(rep.Analyzers) != 9 {
-		t.Fatalf("want stats for 9 analyzers, got %d: %v", len(rep.Analyzers), rep.Analyzers)
+	if len(rep.Analyzers) != 12 {
+		t.Fatalf("want stats for 12 analyzers, got %d: %v", len(rep.Analyzers), rep.Analyzers)
 	}
 	if !strings.Contains(out.String(), `"findings": []`) {
 		t.Errorf("findings must serialize as [], not null:\n%s", out.String())
@@ -97,11 +98,12 @@ func TestJSONFindings(t *testing.T) {
 }
 
 // TestBenchFlag: -bench writes a standalone benchmark artifact with a
-// total and one timed entry per analyzer.
+// total, one timed entry per analyzer, and the parallel driver's
+// workers/cores/serial-baseline/speedup columns.
 func TestBenchFlag(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "BENCH_lint.json")
 	var out, errb strings.Builder
-	if code := run([]string{"-bench", path, "./testdata/src/internal/clean"}, &out, &errb); code != 0 {
+	if code := run([]string{"-bench", path, "-workers", "2", "./testdata/src/internal/clean"}, &out, &errb); code != 0 {
 		t.Fatalf("exit %d, stderr: %s", code, errb.String())
 	}
 	data, err := os.ReadFile(path)
@@ -110,7 +112,11 @@ func TestBenchFlag(t *testing.T) {
 	}
 	var bench struct {
 		Benchmark string              `json:"benchmark"`
+		Workers   int                 `json:"workers"`
+		Cores     int                 `json:"cores"`
 		TotalMs   float64             `json:"total_ms"`
+		SerialMs  float64             `json:"serial_ms"`
+		Speedup   float64             `json:"speedup"`
 		Analyzers []lint.AnalyzerStat `json:"analyzers"`
 	}
 	if err := json.Unmarshal(data, &bench); err != nil {
@@ -119,11 +125,23 @@ func TestBenchFlag(t *testing.T) {
 	if bench.Benchmark != "igdblint" {
 		t.Errorf("benchmark name = %q, want igdblint", bench.Benchmark)
 	}
-	if len(bench.Analyzers) != 9 {
-		t.Errorf("want 9 analyzer entries, got %d", len(bench.Analyzers))
+	if bench.Workers != 2 {
+		t.Errorf("workers = %d, want the requested 2", bench.Workers)
+	}
+	if bench.Cores < 1 {
+		t.Errorf("cores = %d, want >= 1", bench.Cores)
+	}
+	if len(bench.Analyzers) != 12 {
+		t.Errorf("want 12 analyzer entries, got %d", len(bench.Analyzers))
 	}
 	if bench.TotalMs < 0 {
 		t.Errorf("negative total_ms %v", bench.TotalMs)
+	}
+	if bench.SerialMs <= 0 {
+		t.Errorf("serial_ms = %v, want a measured serial baseline", bench.SerialMs)
+	}
+	if bench.Speedup <= 0 {
+		t.Errorf("speedup = %v, want serial_ms/total_ms > 0", bench.Speedup)
 	}
 }
 

@@ -1,0 +1,41 @@
+// Package callgraph is igdblint golden-corpus input: project call-graph
+// reachability. An unexported function nobody calls, nobody takes as a
+// value, and no visible interface needs is dead code; interface dispatch,
+// function values, and direct calls all keep functions alive.
+package callgraph
+
+// renderer escapes through newBox, so implementations of render are
+// reachable via interface dispatch.
+type renderer interface {
+	render() string
+}
+
+type box struct{ s string }
+
+// render is never called directly, but satisfying renderer keeps it alive.
+func (b box) render() string { return b.s }
+
+func newBox(s string) renderer { return box{s: s} }
+
+// helper is only reached through a function value.
+func helper() int { return 1 }
+
+func viaValue() int {
+	f := helper
+	return f()
+}
+
+// chained is reached by a direct call from viaCall.
+func chained() int { return 2 }
+
+func viaCall() int { return chained() }
+
+// orphan has no callers, no value uses, and satisfies nothing visible.
+func orphan() int { // want `callgraph: callgraph.orphan is never called, never taken as a value, and satisfies no visible interface; dead code`
+	return 3
+}
+
+// The corpus exists to be linted, not linked into a program; these
+// references keep the entry points themselves alive so only orphan is the
+// finding.
+var _ = []any{newBox, viaValue, viaCall}

@@ -1,0 +1,118 @@
+// Package ctxcheck is igdblint golden-corpus input: context discipline
+// for blocking operations. HTTP convenience helpers can never carry a
+// context; round trips and retry sleeps in functions no caller reaches
+// with a context are unbounded; goroutines spawned on a request path must
+// observe the caller's context before blocking on channels.
+package ctxcheck
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+// fetchNaked uses the package-level helper, which cannot carry a context.
+func fetchNaked(url string) (int, error) {
+	resp, err := http.Get(url) // want `contextcheck: http.Get cannot carry a context`
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+// doUncovered performs a round trip with no context on any caller path.
+// (A *http.Request parameter would itself thread a context; the request is
+// built inside, context-free.)
+func doUncovered(c *http.Client, url string) (int, error) {
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := c.Do(req) // want `contextcheck: HTTP round trip in ctxcheck.doUncovered`
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+// doCovered threads a context into the request; clean.
+func doCovered(ctx context.Context, c *http.Client, url string) (int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := c.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+// pollUntil retries with a bare sleep nothing can cancel or bound.
+func pollUntil(ready func() bool) {
+	for !ready() {
+		time.Sleep(10 * time.Millisecond) // want `contextcheck: retry loop sleeps in ctxcheck.pollUntil`
+	}
+}
+
+// pollCtx is the same loop under a deadline; clean.
+func pollCtx(ctx context.Context, ready func() bool) error {
+	for !ready() {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+	return nil
+}
+
+// opts carries a pluggable sleep, defaulting to time.Sleep; the call graph
+// resolves the function value back to the blocking callee.
+type opts struct{ sleep func(time.Duration) }
+
+func defaults() opts { return opts{sleep: time.Sleep} }
+
+// retryVia sleeps through the function value; still unbounded.
+func retryVia(o opts, try func() error) error {
+	var err error
+	for i := 0; i < 3; i++ {
+		if err = try(); err == nil {
+			return nil
+		}
+		o.sleep(time.Millisecond) // want `contextcheck: retry loop sleeps (reached through a function value) in ctxcheck.retryVia`
+	}
+	return err
+}
+
+// notify spawns a pump on a request path that never observes ctx.
+func notify(ctx context.Context, events chan int, sink func(int)) {
+	_ = ctx
+	go func() {
+		for ev := range events { // want `contextcheck: goroutine spawned on a request path blocks on a channel without observing the caller's context`
+			sink(ev)
+		}
+	}()
+}
+
+// notifyCtx observes cancellation in the spawned goroutine; clean.
+func notifyCtx(ctx context.Context, events chan int, sink func(int)) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case ev := <-events:
+				sink(ev)
+			}
+		}
+	}()
+}
+
+// The corpus exists to be linted, not linked into a program; these
+// references keep the callgraph analyzer's dead-code rule from drowning
+// the package's own golden findings.
+var _ = []any{fetchNaked, doUncovered, doCovered, pollUntil, pollCtx, defaults, retryVia, notify, notifyCtx}

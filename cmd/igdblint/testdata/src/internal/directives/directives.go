@@ -31,3 +31,8 @@ func unusedSuppression() {
 	//lint:ignore errdrop nothing on this line drops an error
 	_ = os.Getenv("HOME")
 }
+
+// The corpus exists to be linted, not linked into a program; these
+// references keep the callgraph analyzer's dead-code rule from
+// drowning the package's own golden findings.
+var _ = []any{suppressed, notSuppressed, badDirectives, unusedSuppression}

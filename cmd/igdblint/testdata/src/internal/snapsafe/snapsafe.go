@@ -1,0 +1,79 @@
+// Package snapsafe is igdblint golden-corpus input: snapshot-immutability
+// discipline. The table type is annotated as the snapshot root; storing it
+// in an atomic pointer is the publish point, and every store, append, or
+// map write reachable after that — directly, through an annotated
+// constructor, or through interface dispatch — is a finding.
+package snapsafe
+
+import "sync/atomic"
+
+// table is the corpus snapshot root.
+//
+// snapshot: immutable after publish
+type table struct {
+	rows []int
+	idx  map[string]int
+}
+
+// registry publishes table snapshots behind an atomic pointer.
+type registry struct {
+	cur atomic.Pointer[table]
+}
+
+// build populates the next snapshot; the annotation makes passing
+// published state into it a finding at the call site.
+//
+// mutates: pre-publish only
+func build(t *table) {
+	t.rows = append(t.rows, 1)
+	t.idx["a"] = 0
+}
+
+// fill mutates the root type but carries no annotation; the analyzer asks
+// for one.
+func fill(t *table) {
+	t.rows = append(t.rows, 7) // want `snapshotsafe: snapsafe.fill mutates snapshot-reachable state through t without the '// mutates: pre-publish only' annotation`
+}
+
+// publish builds pre-store (fine) and then writes post-store (finding).
+func (r *registry) publish() {
+	t := &table{idx: make(map[string]int)}
+	build(t)
+	r.cur.Store(t)
+	t.rows[0] = 9 // want `snapshotsafe: write to t.rows[0] after the snapshot is published (publish point snapsafe.go:`
+}
+
+// rebuildLate feeds the published snapshot back into the pre-publish
+// constructor.
+func (r *registry) rebuildLate() {
+	t := r.cur.Load()
+	build(t) // want `snapshotsafe: call passes published snapshot state to snapsafe.build, which is annotated`
+}
+
+// mutator hides a snapshot write behind interface dispatch.
+type mutator interface {
+	mutate(t *table)
+}
+
+type writer struct{}
+
+func (writer) mutate(t *table) {
+	t.idx["k"] = 1 // want `snapshotsafe: write to t.idx["k"] after the snapshot is published`
+}
+
+// poke hands the published snapshot to the interface; the CHA edge carries
+// the taint into writer.mutate's body.
+func (r *registry) poke(m mutator) {
+	m.mutate(r.cur.Load())
+}
+
+// lookup only reads published state; no finding.
+func (r *registry) lookup(k string) int {
+	t := r.cur.Load()
+	return t.idx[k]
+}
+
+// The corpus exists to be linted, not linked into a program; these
+// references keep the callgraph analyzer's dead-code rule from drowning
+// the package's own golden findings.
+var _ = []any{fill, (*registry).publish, (*registry).rebuildLate, (*registry).poke, (*registry).lookup, writer.mutate}

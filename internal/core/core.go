@@ -44,7 +44,13 @@ func (c StandardCity) Key() string {
 // Metro renders the paper's "City-CC" metro label (Table 3 style).
 func (c StandardCity) Metro() string { return c.Name + "-" + c.Country }
 
-// IGDB is a built cross-layer database.
+// IGDB is a built cross-layer database. Once a server publishes it behind
+// an atomic pointer it is shared by every request goroutine without
+// locking, so nothing reachable from it may be written after that swap;
+// igdblint's snapshotsafe analyzer enforces the discipline from the
+// annotation below.
+//
+// snapshot: immutable after publish
 type IGDB struct {
 	Rel    *reldb.DB
 	Cities []StandardCity
@@ -65,12 +71,16 @@ type IGDB struct {
 	// Voronoi/Thiessen standardization join, relation construction, and
 	// path inference. Nil only with BuildOptions.SkipTrace. Mirrors the
 	// build_trace relation.
+	//
+	// snapshot: internally synchronized
 	BuildTrace *obs.Span
 
 	tree    *spatial.KDTree
 	cityIdx map[string]int
 	// span is the currently executing loader's span; loaders use it for
 	// sub-stage spans (gazetteer, voronoi, right_of_way).
+	//
+	// snapshot: internally synchronized
 	span *obs.Span
 	// pendingAdjacencies holds the standardized Atlas PoP adjacencies
 	// between loadAtlas and inferStandardPaths.

@@ -8,7 +8,6 @@ package experiments
 
 import (
 	"fmt"
-	"sort"
 	"time"
 
 	"igdb/internal/core"
@@ -109,13 +108,3 @@ func (e *Env) measurementBetween(src, dst string) (ripeatlas.Measurement, bool) 
 
 // intCell formats an int.
 func intCell(n int) string { return fmt.Sprintf("%d", n) }
-
-// sortedKeys returns map keys in stable order.
-func sortedKeys(m map[string]int) []string {
-	out := make([]string, 0, len(m))
-	for k := range m {
-		out = append(out, k)
-	}
-	sort.Strings(out)
-	return out
-}

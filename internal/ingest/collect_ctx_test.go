@@ -1,0 +1,51 @@
+package ingest_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"igdb/internal/ingest"
+)
+
+// TestCollectCancelledBeforeStart: an already-cancelled context aborts the
+// collection before any source is attempted.
+func TestCollectCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	report, err := ingest.CollectWith(ctx, smallWorld(t), ingest.NewStore(""), time.Unix(1780000000, 0).UTC(), ingest.CollectOptions{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(report.Results) != 0 {
+		t.Fatalf("attempted %d sources after cancellation, want 0", len(report.Results))
+	}
+}
+
+// TestCollectCancelInterruptsBackoff: cancelling mid-backoff returns
+// promptly instead of sleeping out the remaining delay schedule. The
+// backoff here is far longer than the test budget, so a pass proves the
+// wait observed the context.
+func TestCollectCancelInterruptsBackoff(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := ingest.CollectWith(ctx, smallWorld(t), ingest.NewStore(""), time.Unix(1780000000, 0).UTC(), ingest.CollectOptions{
+		MaxAttempts: 5,
+		BaseBackoff: time.Hour,
+		MaxBackoff:  time.Hour,
+		Intercept: func(source string, attempt int) error {
+			return ingest.Transient(errors.New("injected"))
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("collection took %v after cancellation; backoff ignored the context", elapsed)
+	}
+}

@@ -10,6 +10,7 @@
 package ingest
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -268,7 +269,8 @@ type CollectOptions struct {
 	// exhausts its attempt budget; the failure is reported in the
 	// CollectReport instead of aborting.
 	ContinueOnError bool
-	// Sleep replaces time.Sleep between attempts (tests).
+	// Sleep replaces the backoff wait between attempts (tests). When nil
+	// the wait is a timer select that aborts on context cancellation.
 	Sleep func(time.Duration)
 	// Intercept, when set, runs before each fetch attempt and may return
 	// an error to inject a fault (chaos.FlakySources builds these).
@@ -294,9 +296,6 @@ func (o *CollectOptions) fillDefaults() {
 	}
 	if o.MaxBackoff <= 0 {
 		o.MaxBackoff = 5 * time.Second
-	}
-	if o.Sleep == nil {
-		o.Sleep = time.Sleep
 	}
 	if o.Logger == nil && o.Logf != nil {
 		o.Logger = obs.NewCallback(o.Logf)
@@ -403,21 +402,28 @@ var fetchers = []fetcher{
 // under default options: 3 attempts per source, exponential backoff, abort
 // on the first source that exhausts its budget.
 func Collect(w *worldgen.World, store *Store, asOf time.Time) error {
-	_, err := CollectWith(w, store, asOf, CollectOptions{})
+	_, err := CollectWith(context.Background(), w, store, asOf, CollectOptions{})
 	return err
 }
 
 // CollectWith pulls every source under the given fault-tolerance options.
 // Each source gets its own attempt budget; transient errors back off with
 // jittered exponential delay and retry, permanent (parse/marshal) errors
-// fail the source immediately. The returned report always covers every
-// attempted source, even when an error is also returned.
-func CollectWith(w *worldgen.World, store *Store, asOf time.Time, opts CollectOptions) (*CollectReport, error) {
+// fail the source immediately. Cancelling ctx aborts the collection at the
+// next backoff wait or source boundary. The returned report always covers
+// every attempted source, even when an error is also returned.
+func CollectWith(ctx context.Context, w *worldgen.World, store *Store, asOf time.Time, opts CollectOptions) (*CollectReport, error) {
 	opts.fillDefaults()
 	rng := rand.New(rand.NewSource(opts.Seed))
 	report := &CollectReport{}
 	var firstErr error
 	for _, f := range fetchers {
+		if err := ctx.Err(); err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("ingest: %w", err)
+			}
+			return report, firstErr
+		}
 		res := SourceResult{Source: f.source}
 		sp := opts.Trace.Start("collect/" + f.source)
 		var files map[string][]byte
@@ -451,7 +457,12 @@ func CollectWith(w *worldgen.World, store *Store, asOf time.Time, opts CollectOp
 				obs.F("source", f.source), obs.F("attempt", attempt),
 				obs.F("max_attempts", opts.MaxAttempts), obs.F("err", err),
 				obs.F("backoff", delay))
-			opts.Sleep(delay)
+			if opts.Sleep != nil {
+				opts.Sleep(delay)
+			} else if err := sleepContext(ctx, delay); err != nil {
+				res.Err = fmt.Errorf("backoff interrupted: %w", err)
+				break
+			}
 		}
 		if res.Err == nil {
 			if err := store.Save(Snapshot{Source: f.source, AsOf: asOf, Files: files}); err != nil {
@@ -480,6 +491,18 @@ func CollectWith(w *worldgen.World, store *Store, asOf time.Time, opts CollectOp
 		}
 	}
 	return report, firstErr
+}
+
+// sleepContext waits d or until ctx is cancelled, whichever comes first.
+func sleepContext(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // backoff computes the delay before retry #attempt: base doubled per

@@ -1,6 +1,7 @@
 package ingest_test
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -49,7 +50,7 @@ func TestCollectRetriesTransient(t *testing.T) {
 	store := ingest.NewStore("")
 	rec := &sleepRecorder{}
 	base := 10 * time.Millisecond
-	report, err := ingest.CollectWith(smallWorld(t), store, time.Unix(1780000000, 0).UTC(), ingest.CollectOptions{
+	report, err := ingest.CollectWith(context.Background(), smallWorld(t), store, time.Unix(1780000000, 0).UTC(), ingest.CollectOptions{
 		MaxAttempts: 3,
 		BaseBackoff: base,
 		MaxBackoff:  time.Second,
@@ -94,7 +95,7 @@ func TestCollectPermanentErrorNotRetried(t *testing.T) {
 	store := ingest.NewStore("")
 	rec := &sleepRecorder{}
 	boom := errors.New("schema validation failed")
-	report, err := ingest.CollectWith(smallWorld(t), store, time.Unix(1780000000, 0).UTC(), ingest.CollectOptions{
+	report, err := ingest.CollectWith(context.Background(), smallWorld(t), store, time.Unix(1780000000, 0).UTC(), ingest.CollectOptions{
 		MaxAttempts: 5,
 		Sleep:       rec.sleep,
 		Intercept: func(source string, attempt int) error {
@@ -124,7 +125,7 @@ func TestCollectPermanentErrorNotRetried(t *testing.T) {
 // exhausts its budget and reports the wrapped transient error.
 func TestCollectBudgetExhausted(t *testing.T) {
 	store := ingest.NewStore("")
-	report, err := ingest.CollectWith(smallWorld(t), store, time.Unix(1780000000, 0).UTC(), ingest.CollectOptions{
+	report, err := ingest.CollectWith(context.Background(), smallWorld(t), store, time.Unix(1780000000, 0).UTC(), ingest.CollectOptions{
 		MaxAttempts: 2,
 		Sleep:       func(time.Duration) {},
 		Intercept:   chaos.FlakySources(map[string]int{"rdns": 100}),
@@ -146,7 +147,7 @@ func TestCollectBudgetExhausted(t *testing.T) {
 // not stop the rest from being collected.
 func TestCollectContinueOnError(t *testing.T) {
 	store := ingest.NewStore("")
-	report, err := ingest.CollectWith(smallWorld(t), store, time.Unix(1780000000, 0).UTC(), ingest.CollectOptions{
+	report, err := ingest.CollectWith(context.Background(), smallWorld(t), store, time.Unix(1780000000, 0).UTC(), ingest.CollectOptions{
 		MaxAttempts:     1,
 		ContinueOnError: true,
 		Sleep:           func(time.Duration) {},

@@ -1,0 +1,365 @@
+package lint
+
+// contextcheck.go verifies context discipline interprocedurally: every
+// blocking operation must be reachable only from functions that thread a
+// context.Context (or *http.Request, which carries one). leakcheck proves
+// goroutines are tied to shutdown paths; contextcheck closes the
+// remaining gap — a blocking call that no caller can cancel or bound with
+// a deadline. Three rules, all over the project call graph:
+//
+//  1. http.Get/Post/PostForm/Head (package-level or the *http.Client
+//     convenience methods) can never carry a context and are always
+//     reported: use http.NewRequestWithContext + (*http.Client).Do.
+//  2. (*http.Client).Do and time.Sleep inside a for/range loop (a retry
+//     backoff) are reported when the containing function is ctx-free
+//     reachable: neither it nor the functions on some caller path down
+//     from a root thread a context. time.Sleep reached through a function
+//     value (e.g. a pluggable opts.Sleep defaulting to time.Sleep) is
+//     resolved by the call graph's function-value CHA.
+//  3. A goroutine spawned inside a context-threading function whose body
+//     performs channel operations without ever observing the context
+//     blocks a request path unconditionally — unless every channel op is
+//     a send to a channel proven buffered, which cannot block past
+//     capacity.
+//
+// Suppress intentional cases with //lint:ignore contextcheck <reason>.
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+func (l *Linter) newContextCheck() *Analyzer {
+	a := &Analyzer{
+		Name: "contextcheck",
+		Doc:  "blocking operations (HTTP round trips, retry sleeps, channel ops on request-path goroutines) must be reachable only from functions threading a context.Context",
+	}
+	a.Run = func(*Pass) {}
+	a.Finish = func(report func(pos token.Position, format string, args ...any)) {
+		g := l.graph
+		if g == nil {
+			return
+		}
+		c := &ctxChecker{graph: g, fset: l.fset, threads: map[*CGNode]bool{}}
+		c.computeThreading()
+		c.computeUncovered()
+		for _, n := range g.Nodes {
+			if n.Body() == nil {
+				continue
+			}
+			c.checkBlockingCalls(n, report)
+			c.checkGoroutineChannels(n, report)
+		}
+	}
+	return a
+}
+
+type ctxChecker struct {
+	graph *CallGraph
+	fset  *token.FileSet
+	// threads: the node's own signature (or literal body) gives it a
+	// context to observe.
+	threads map[*CGNode]bool
+	// uncovered: reachable from some root along a path where no function
+	// threads a context — nothing on that path can cancel the work.
+	uncovered map[*CGNode]bool
+}
+
+// threadsContext reports whether the signature carries a context.Context
+// or *http.Request parameter.
+func signatureThreadsContext(sig *types.Signature) bool {
+	if sig == nil {
+		return false
+	}
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		t := params.At(i).Type()
+		if isContextType(t) {
+			return true
+		}
+		if named := derefNamed(t); named != nil {
+			obj := named.Obj()
+			if obj.Pkg() != nil && obj.Pkg().Path() == "net/http" && obj.Name() == "Request" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (c *ctxChecker) computeThreading() {
+	for _, n := range c.graph.Nodes {
+		if signatureThreadsContext(n.Sig()) {
+			c.threads[n] = true
+			continue
+		}
+		// A literal that references a context identifier (own param or a
+		// capture) observes cancellation even without a ctx parameter.
+		if n.Lit != nil && n.Pkg != nil && bodyUsesContext(n.Pkg.Info, n.Lit.Body) {
+			c.threads[n] = true
+		}
+	}
+}
+
+// computeUncovered marks every node ctx-free reachable: roots are declared
+// functions nobody in the project calls (entry points, including main and
+// value-taken handlers without in-edges); coverage propagates through
+// call edges until a context-threading signature is crossed.
+func (c *ctxChecker) computeUncovered() {
+	c.uncovered = map[*CGNode]bool{}
+	var queue []*CGNode
+	mark := func(n *CGNode) {
+		if n == nil || c.threads[n] || c.uncovered[n] {
+			return
+		}
+		c.uncovered[n] = true
+		queue = append(queue, n)
+	}
+	for _, n := range c.graph.Nodes {
+		if n.Decl != nil && len(n.In) == 0 {
+			mark(n)
+		}
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, e := range n.Out {
+			mark(e.Callee)
+		}
+	}
+}
+
+// externalCallee returns the callee object for an edge into an external
+// function, or nil.
+func externalCallee(e *CGEdge) *types.Func {
+	if e.Callee == nil || !e.Callee.External() {
+		return nil
+	}
+	return e.Callee.Obj
+}
+
+// httpReceiver reports whether fn is a method on net/http's named type.
+func httpMethodOn(fn *types.Func, typeName string) bool {
+	named := namedReceiver(funcSig(fn))
+	if named == nil {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "net/http" && obj.Name() == typeName
+}
+
+var ctxlessHTTPNames = map[string]bool{"Get": true, "Post": true, "PostForm": true, "Head": true}
+
+// checkBlockingCalls applies rules 1 and 2 to every call edge out of n.
+func (c *ctxChecker) checkBlockingCalls(n *CGNode, report func(pos token.Position, format string, args ...any)) {
+	var loops []loopSpan
+	loopsBuilt := false
+	inLoop := func(pos token.Pos) bool {
+		if !loopsBuilt {
+			loops = collectLoopSpans(n.Body())
+			loopsBuilt = true
+		}
+		for _, s := range loops {
+			if s.start <= pos && pos < s.end {
+				return true
+			}
+		}
+		return false
+	}
+	seen := map[token.Pos]bool{} // one report per call site (CHA may fan out)
+	for _, e := range n.Out {
+		if e.Kind == CallEnclosing || e.Call == nil || seen[e.Pos] {
+			continue
+		}
+		fn := externalCallee(e)
+		if fn == nil || fn.Pkg() == nil {
+			continue
+		}
+		switch {
+		case fn.Pkg().Path() == "net/http" && funcSig(fn).Recv() == nil && ctxlessHTTPNames[fn.Name()]:
+			seen[e.Pos] = true
+			report(c.fset.Position(e.Pos),
+				"http.%s cannot carry a context; use http.NewRequestWithContext and (*http.Client).Do", fn.Name())
+		case httpMethodOn(fn, "Client") && ctxlessHTTPNames[fn.Name()]:
+			seen[e.Pos] = true
+			report(c.fset.Position(e.Pos),
+				"(*http.Client).%s cannot carry a context; use http.NewRequestWithContext and (*http.Client).Do", fn.Name())
+		case httpMethodOn(fn, "Client") && fn.Name() == "Do" && c.uncovered[n]:
+			seen[e.Pos] = true
+			report(c.fset.Position(e.Pos),
+				"HTTP round trip in %s, which no caller path reaches with a context.Context; thread one through", n.Name())
+		case fn.Pkg().Path() == "time" && fn.Name() == "Sleep" && c.uncovered[n] && inLoop(e.Pos):
+			seen[e.Pos] = true
+			via := ""
+			if e.Kind == CallFuncValue {
+				via = " (reached through a function value)"
+			}
+			report(c.fset.Position(e.Pos),
+				"retry loop sleeps%s in %s, which no caller path reaches with a context.Context/deadline; thread one through and select on ctx.Done()", via, n.Name())
+		}
+	}
+}
+
+type loopSpan struct{ start, end token.Pos }
+
+// collectLoopSpans records the body extent of every for/range statement,
+// excluding nested function literals (their loops belong to their own
+// node).
+func collectLoopSpans(body *ast.BlockStmt) []loopSpan {
+	var spans []loopSpan
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ForStmt:
+			spans = append(spans, loopSpan{x.Body.Pos(), x.Body.End()})
+		case *ast.RangeStmt:
+			spans = append(spans, loopSpan{x.Body.Pos(), x.Body.End()})
+		}
+		return true
+	})
+	return spans
+}
+
+// checkGoroutineChannels applies rule 3: n spawns a goroutine literal on a
+// context-threading path; the literal must observe the context if it
+// blocks on channels.
+func (c *ctxChecker) checkGoroutineChannels(n *CGNode, report func(pos token.Position, format string, args ...any)) {
+	if !c.threads[n] {
+		return
+	}
+	for _, e := range n.Out {
+		if e.Kind != CallEnclosing || !e.Go {
+			continue
+		}
+		lit := e.Callee
+		if lit == nil || lit.Lit == nil || c.threads[lit] {
+			continue
+		}
+		if pos, ok := c.blockingChanOp(lit); ok {
+			report(c.fset.Position(pos),
+				"goroutine spawned on a request path blocks on a channel without observing the caller's context; add a ctx.Done() case or pass the context in")
+		}
+	}
+}
+
+// blockingChanOp returns the first channel operation in the literal's body
+// that can block indefinitely: any receive or select, or a send to a
+// channel not proven buffered. Channel ops inside nested literals belong
+// to those literals' own spawn analysis.
+func (c *ctxChecker) blockingChanOp(lit *CGNode) (token.Pos, bool) {
+	info := lit.Pkg.Info
+	var found token.Pos
+	ok := false
+	note := func(pos token.Pos) {
+		if !ok || pos < found {
+			found, ok = pos, true
+		}
+	}
+	ast.Inspect(lit.Lit.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return x == lit.Lit
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				note(x.Pos())
+			}
+		case *ast.SelectStmt:
+			note(x.Pos())
+			return false
+		case *ast.SendStmt:
+			if !chanProvenBuffered(info, c.enclosingDeclBody(lit), x.Chan) {
+				note(x.Pos())
+			}
+		case *ast.RangeStmt:
+			if tv, tok := info.Types[x.X]; tok && tv.Type != nil {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					note(x.Pos())
+				}
+			}
+		}
+		return true
+	})
+	return found, ok
+}
+
+// enclosingDeclBody walks literal parents up to the declared function
+// whose body contains every make site the literal can see.
+func (c *ctxChecker) enclosingDeclBody(n *CGNode) *ast.BlockStmt {
+	for n != nil {
+		if n.Decl != nil {
+			return n.Decl.Body
+		}
+		n = n.Parent
+	}
+	return nil
+}
+
+// chanProvenBuffered reports whether ch resolves to a channel made with a
+// constant capacity > 0 somewhere in scope — a send can block only if the
+// buffer is full, which leakcheck's shutdown rules already bound.
+func chanProvenBuffered(info *types.Info, scope *ast.BlockStmt, ch ast.Expr) bool {
+	id, ok := ast.Unparen(ch).(*ast.Ident)
+	if !ok || scope == nil {
+		return false
+	}
+	obj := info.Uses[id]
+	if obj == nil {
+		return false
+	}
+	buffered := false
+	ast.Inspect(scope, func(n ast.Node) bool {
+		if buffered {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			lid, ok := lhs.(*ast.Ident)
+			if !ok || i >= len(as.Rhs) {
+				continue
+			}
+			def := info.Defs[lid]
+			if def == nil {
+				def = info.Uses[lid]
+			}
+			if def != obj {
+				continue
+			}
+			call, ok := ast.Unparen(as.Rhs[i]).(*ast.CallExpr)
+			if !ok || len(call.Args) < 2 {
+				continue
+			}
+			if fid, ok := call.Fun.(*ast.Ident); !ok || fid.Name != "make" {
+				continue
+			}
+			if tv, ok := info.Types[call.Args[1]]; ok && tv.Value != nil {
+				if v, exact := constant.Int64Val(tv.Value); exact && v > 0 {
+					buffered = true
+				}
+			}
+		}
+		return true
+	})
+	return buffered
+}
+
+// bodyUsesContext is usesContext without a Pass.
+func bodyUsesContext(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || found {
+			return !found
+		}
+		if obj := info.Uses[id]; obj != nil && isContextType(obj.Type()) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

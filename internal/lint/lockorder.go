@@ -17,6 +17,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // lockKey identifies one mutex within a function: the root variable object
@@ -54,6 +55,46 @@ type lockEdge struct{ from, to string }
 // where the second was acquired.
 type lockEdgeSite struct{ fromPos, toPos token.Position }
 
+// lockEdgeSet is the cross-package acquisition graph. Packages are
+// analyzed concurrently, so recording locks, and each edge keeps its
+// minimum-position witness site — not the first seen — so the reported
+// sites are identical for any worker count or completion order.
+type lockEdgeSet struct {
+	mu sync.Mutex
+	m  map[lockEdge]lockEdgeSite
+}
+
+func (s *lockEdgeSet) record(e lockEdge, site lockEdgeSite) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old, seen := s.m[e]
+	if !seen || lockSiteLess(site, old) {
+		s.m[e] = site
+	}
+}
+
+// lockSiteLess orders sites by (toPos, fromPos) filename/line/column.
+func lockSiteLess(a, b lockEdgeSite) bool {
+	if c := comparePositions(a.toPos, b.toPos); c != 0 {
+		return c < 0
+	}
+	return comparePositions(a.fromPos, b.fromPos) < 0
+}
+
+// comparePositions is a three-way (filename, line, column) comparison.
+func comparePositions(a, b token.Position) int {
+	if a.Filename != b.Filename {
+		if a.Filename < b.Filename {
+			return -1
+		}
+		return 1
+	}
+	if a.Line != b.Line {
+		return a.Line - b.Line
+	}
+	return a.Column - b.Column
+}
+
 // mutexOp is one resolved locking call inside a statement.
 type mutexOp struct {
 	key    lockKey
@@ -67,7 +108,7 @@ func newLockOrder() *Analyzer {
 		Name: "lockorder",
 		Doc:  "locks must be released on every exit path, never re-acquired while held, and acquired in a consistent global order (cycles are potential deadlocks)",
 	}
-	edges := map[lockEdge]lockEdgeSite{}
+	edges := &lockEdgeSet{m: map[lockEdge]lockEdgeSite{}}
 	a.Run = func(pass *Pass) {
 		for _, f := range pass.Files {
 			for _, body := range funcBodies(f) {
@@ -76,15 +117,16 @@ func newLockOrder() *Analyzer {
 		}
 	}
 	a.Finish = func(report func(pos token.Position, format string, args ...any)) {
-		reportLockCycles(edges, report)
+		reportLockCycles(edges.m, report)
 	}
 	return a
 }
 
 // funcBodies yields every function body in the file in source order:
 // FuncDecl bodies and each FuncLit body as its own unit (CFGs do not
-// descend into literals). Source order keeps cross-function state, like
-// the lock-acquisition graph's first-recorded edge sites, deterministic.
+// descend into literals). Cross-function state — the lock-acquisition
+// graph — canonicalizes its edge sites to the minimum position, so
+// results do not depend on this order or on the driver's worker count.
 func funcBodies(f *ast.File) []*ast.BlockStmt {
 	var bodies []*ast.BlockStmt
 	ast.Inspect(f, func(n ast.Node) bool {
@@ -102,7 +144,7 @@ func funcBodies(f *ast.File) []*ast.BlockStmt {
 }
 
 // checkLockOrder runs the may-held analysis over one function body.
-func checkLockOrder(pass *Pass, body *ast.BlockStmt, edges map[lockEdge]lockEdgeSite) {
+func checkLockOrder(pass *Pass, body *ast.BlockStmt, edges *lockEdgeSet) {
 	cfg := BuildCFG(body)
 	prob := FlowProblem[lockFact]{
 		Entry: lockFact{},
@@ -141,7 +183,7 @@ func checkLockOrder(pass *Pass, body *ast.BlockStmt, edges map[lockEdge]lockEdge
 // lockTransfer pushes the fact through one block. When reportf is non-nil
 // it also diagnoses double-locks/upgrades and records ordering edges —
 // that mode runs exactly once per block, after the fixed point.
-func lockTransfer(pass *Pass, b *Block, in lockFact, reportf func(token.Pos, string, ...any), edges map[lockEdge]lockEdgeSite) lockFact {
+func lockTransfer(pass *Pass, b *Block, in lockFact, reportf func(token.Pos, string, ...any), edges *lockEdgeSet) lockFact {
 	fact := in
 	mutated := false
 	mutable := func() lockFact {
@@ -170,13 +212,10 @@ func lockTransfer(pass *Pass, b *Block, in lockFact, reportf func(token.Pos, str
 						if h.node == "" || h.node == op.node {
 							continue
 						}
-						e := lockEdge{from: h.node, to: op.node}
-						if _, seen := edges[e]; !seen {
-							edges[e] = lockEdgeSite{
-								fromPos: pass.Fset.Position(h.pos),
-								toPos:   pass.Fset.Position(op.pos),
-							}
-						}
+						edges.record(lockEdge{from: h.node, to: op.node}, lockEdgeSite{
+							fromPos: pass.Fset.Position(h.pos),
+							toPos:   pass.Fset.Position(op.pos),
+						})
 					}
 				}
 				m := mutable()

@@ -190,14 +190,22 @@ type snapshot struct {
 	buildTime time.Duration
 	simCount  int           // scenarios simulated against this snapshot
 	simTime   time.Duration // wall time of that simulation batch
-	plans     *lruCache[*reldb.Stmt]
-	results   *lruCache[*sqlResult]
+	// The statement and result caches take their own lock per operation,
+	// so request goroutines may write them after the snapshot publishes.
+	//
+	// snapshot: internally synchronized
+	plans *lruCache[*reldb.Stmt]
+	// snapshot: internally synchronized
+	results *lruCache[*sqlResult]
 
 	// The replication artifact is rendered lazily, once, by the first
-	// follower poll; see snapshot.artifact.
+	// follower poll, with artOnce serializing the write; see
+	// snapshot.artifact.
 	artOnce sync.Once
-	art     *replicate.Artifact
-	artErr  error
+	// snapshot: internally synchronized
+	art *replicate.Artifact
+	// snapshot: internally synchronized
+	artErr error
 }
 
 // Server serves a built iGDB over HTTP.

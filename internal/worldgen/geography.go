@@ -1,7 +1,6 @@
 package worldgen
 
 import (
-	"fmt"
 	"math"
 	"math/rand"
 	"sort"
@@ -429,10 +428,4 @@ func (w *World) RoadGraph() *graph.Graph {
 		g.AddUndirected(e.A, e.B, e.LengthKm)
 	}
 	return g
-}
-
-// cityLabel renders "Name-CC" like the paper's metro labels (Table 3).
-func (w *World) cityLabel(id int) string {
-	c := w.Cities[id]
-	return fmt.Sprintf("%s-%s", c.Name, c.Country)
 }

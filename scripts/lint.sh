@@ -4,8 +4,9 @@
 # Lints the whole module, prints findings in file:line:col form, and always
 # writes the machine-readable JSON report (findings plus per-analyzer wall
 # time and counts) to artifacts/lint.json, and the standalone benchmark
-# artifact to BENCH_lint.json, so CI can archive both. Exits non-zero on
-# findings.
+# artifact — per-analyzer rows plus the parallel driver's workers, cores,
+# serial baseline, and speedup — to BENCH_lint.json, so CI can archive
+# both. Exits non-zero on findings.
 #
 # Usage:
 #   scripts/lint.sh                 # lint ./...
