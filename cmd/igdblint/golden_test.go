@@ -19,7 +19,7 @@ import (
 var goldenDirs = []string{
 	"errdrop", "logdisc", "metrics", "guarded", "sqlbad",
 	"lockorder", "leakcheck", "closecheck",
-	"callgraph", "snapsafe", "ctxcheck",
+	"callgraph", "snapsafe", "ctxcheck", "allocloop",
 	"directives", "clean",
 }
 

@@ -10,8 +10,8 @@
 // unexported functions are reachable in the project call graph
 // (callgraph), snapshot state is never written after its atomic-pointer
 // publish (snapshotsafe), blocking operations thread a context.Context
-// (contextcheck), and every //lint:ignore suppresses something
-// (directive).
+// (contextcheck), annotated hot paths do not allocate per loop iteration
+// (alloclint), and every //lint:ignore suppresses something (directive).
 //
 // Usage:
 //

@@ -4,13 +4,15 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"reflect"
+	"sort"
 	"strings"
 	"testing"
 
 	"igdb/internal/lint"
 )
 
-// TestRulesFlag locks the -rules listing: exactly the twelve analyzers in
+// TestRulesFlag locks the -rules listing: exactly the thirteen analyzers in
 // registration order, each with a one-line doc. directive must stay last —
 // it reports unused suppressions after every other analyzer has run.
 func TestRulesFlag(t *testing.T) {
@@ -22,7 +24,8 @@ func TestRulesFlag(t *testing.T) {
 	want := []string{
 		"sqlcheck", "errdrop", "logdiscipline", "metriclint",
 		"guardedby", "lockorder", "leakcheck", "closecheck",
-		"callgraph", "snapshotsafe", "contextcheck", "directive",
+		"callgraph", "snapshotsafe", "contextcheck", "alloclint",
+		"directive",
 	}
 	if len(lines) != len(want) {
 		t.Fatalf("expected %d analyzer lines, got %d:\n%s", len(want), len(lines), out.String())
@@ -50,8 +53,8 @@ func TestJSONCleanPackage(t *testing.T) {
 	if rep.Findings == nil || len(rep.Findings) != 0 {
 		t.Fatalf("want empty findings array, got %v", rep.Findings)
 	}
-	if len(rep.Analyzers) != 12 {
-		t.Fatalf("want stats for 12 analyzers, got %d: %v", len(rep.Analyzers), rep.Analyzers)
+	if len(rep.Analyzers) != 13 {
+		t.Fatalf("want stats for 13 analyzers, got %d: %v", len(rep.Analyzers), rep.Analyzers)
 	}
 	if !strings.Contains(out.String(), `"findings": []`) {
 		t.Errorf("findings must serialize as [], not null:\n%s", out.String())
@@ -131,8 +134,8 @@ func TestBenchFlag(t *testing.T) {
 	if bench.Cores < 1 {
 		t.Errorf("cores = %d, want >= 1", bench.Cores)
 	}
-	if len(bench.Analyzers) != 12 {
-		t.Errorf("want 12 analyzer entries, got %d", len(bench.Analyzers))
+	if len(bench.Analyzers) != 13 {
+		t.Errorf("want 13 analyzer entries, got %d", len(bench.Analyzers))
 	}
 	if bench.TotalMs < 0 {
 		t.Errorf("negative total_ms %v", bench.TotalMs)
@@ -151,5 +154,29 @@ func TestBadPattern(t *testing.T) {
 	var out, errb strings.Builder
 	if code := run([]string{"./testdata/does-not-exist"}, &out, &errb); code != 2 {
 		t.Fatalf("want exit 2 on a bad pattern, got %d", code)
+	}
+}
+
+// TestFlagFreeze pins the CLI surface: exactly these flags and no others.
+// Analyzer behavior is steered by in-source annotations (// perf: hot
+// path, //lint:ignore, // guarded by), never by new command-line knobs —
+// a new flag here is an interface change that needs the docs, lint.sh,
+// and this freeze updated together.
+func TestFlagFreeze(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-help"}, &out, &errb); code != 2 {
+		t.Fatalf("igdblint -help exited %d, want 2 (flag.ErrHelp)", code)
+	}
+	want := []string{"bench", "json", "rules", "workers"}
+	var got []string
+	for _, line := range strings.Split(errb.String(), "\n") {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "-") {
+			got = append(got, strings.Fields(trimmed)[0][1:])
+		}
+	}
+	sort.Strings(got)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("flag set = %v, want %v\nusage:\n%s", got, want, errb.String())
 	}
 }

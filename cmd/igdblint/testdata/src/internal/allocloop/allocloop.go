@@ -1,0 +1,153 @@
+// Package allocloop is igdblint golden-corpus input: per-iteration
+// allocation discipline in annotated hot paths. A '// perf: hot path'
+// marker roots the region; the call graph propagates hotness to every
+// reachable callee; inside hot functions only natural-loop bodies are
+// checked, so one-time setup and error-return arms stay quiet.
+package allocloop
+
+import "fmt"
+
+type point struct{ x, y int }
+
+var (
+	sink    interface{}
+	sinkStr string
+	sinkPts []*point
+)
+
+// consume forces its argument into an interface.
+func consume(v interface{}) { sink = v }
+
+// process is the hot root: everything reachable from here is checked.
+//
+// perf: hot path
+func process(pts []point, xs []int, names []string) error {
+	if err := validate(xs); err != nil {
+		return err
+	}
+
+	for _, p := range pts {
+		tmp := []int{p.x, p.y} // want `alloclint: composite literal allocates per iteration of a hot loop`
+		sink = tmp
+	}
+
+	for _, p := range pts {
+		attrs := map[string]int{"x": p.x} // want `alloclint: map literal allocates per iteration of a hot loop`
+		sink = attrs
+	}
+
+	for range pts {
+		seen := make(map[int]bool) // want `alloclint: map made per iteration of a hot loop`
+		sink = seen
+	}
+
+	for _, x := range xs {
+		buf := make([]byte, 0, 64) // want `alloclint: make allocates per iteration of a hot loop`
+		sink = buf
+		consume(x) // want `alloclint: int is boxed into interface{} per iteration of a hot loop`
+	}
+
+	for i, n := range names {
+		sinkStr = fmt.Sprintf("%d-%s", i, n) // want `alloclint: fmt.Sprintf allocates per iteration of a hot loop`
+	}
+
+	for _, n := range names {
+		sinkStr = "name: " + n // want `alloclint: string concatenation allocates per iteration of a hot loop`
+	}
+
+	for _, x := range xs {
+		sinkStr = buildLabel(x) // want `alloclint: allocloop.buildLabel allocates on every call and is called per iteration of a hot loop`
+	}
+
+	for _, p := range pts {
+		q := &point{x: p.x, y: p.y} // want `alloclint: &point{} escapes and heap-allocates per iteration of a hot loop`
+		sinkPts = append(sinkPts, q)
+	}
+
+	// A pointee whose uses never leave the frame stays on the stack: clean.
+	local := 0
+	for _, p := range pts {
+		q := &point{x: p.x}
+		q.y = q.x * 2
+		local += q.y
+	}
+
+	fns := make([]func() int, 0, len(xs))
+	for _, x := range xs {
+		x := x
+		fns = append(fns, func() int { return x }) // want `alloclint: closure captures variables and allocates per iteration of a hot loop`
+	}
+
+	// A suppressed site must name the rule and give a reason; the
+	// directive analyzer deletes ignores that stop suppressing anything.
+	for _, x := range xs {
+		//lint:ignore alloclint the batch set is rebuilt once per flush by design
+		batch := make(map[int]bool, len(xs))
+		batch[x] = true
+		sink = batch
+	}
+
+	// The range expression runs once per loop entry, not per iteration.
+	for _, row := range report(xs) {
+		sinkStr = row
+	}
+
+	sink = double(xs)
+	sink = doublePresized(xs)
+	sink = local
+	sink = fns
+	return nil
+}
+
+// validate returns on the error arm; the return exits the loop, so the
+// wrapped error is not a per-iteration cost.
+func validate(xs []int) error {
+	for i, x := range xs {
+		if x < 0 {
+			return fmt.Errorf("negative value at %d", i)
+		}
+	}
+	return nil
+}
+
+// double appends without pre-sizing even though the bound is known.
+func double(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, 2*x) // want `alloclint: append to out grows an unsized slice per iteration of a hot loop; pre-size with make(..., 0, len(xs))`
+	}
+	return out
+}
+
+// doublePresized hoists the capacity; clean.
+func doublePresized(xs []int) []int {
+	out := make([]int, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, 2*x)
+	}
+	return out
+}
+
+// buildLabel allocates a fresh string on every call, so hot loops calling
+// it get blamed at the call site.
+func buildLabel(n int) string {
+	return fmt.Sprintf("label-%d", n)
+}
+
+// report builds the retained output rows; the marker stops hot-path
+// propagation, so its per-iteration allocations are not findings and
+// calls to it are never blamed.
+//
+// perf: allocates intentionally — the report is the function's output.
+func report(xs []int) []string {
+	var out []string
+	for _, x := range xs {
+		out = append(out, fmt.Sprintf("row %d", x))
+	}
+	return out
+}
+
+// The corpus exists to be linted, not linked into a program; this
+// reference keeps the callgraph analyzer's dead-code rule from drowning
+// the package's own golden findings.
+var _ = []any{process}

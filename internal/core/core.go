@@ -178,10 +178,10 @@ func (g *IGDB) Standardize(p geo.Point) int {
 // most populous match, mirroring how name-only sources (PCH, HE) are
 // matched.
 func (g *IGDB) CityByName(name, state, country string) int {
-	name = strings.ToLower(strings.TrimSpace(name))
+	name = strings.TrimSpace(name)
 	best, bestPop := -1, -1
 	for i, c := range g.Cities {
-		if strings.ToLower(c.Name) != name {
+		if !strings.EqualFold(c.Name, name) {
 			continue
 		}
 		if state != "" && !strings.EqualFold(c.State, state) {

@@ -1,0 +1,991 @@
+package lint
+
+// alloclint.go proves allocation discipline on annotated hot paths. The
+// annotation grammar:
+//
+//   - `// perf: hot path` on a function declaration (or on the line above
+//     a function literal) roots a hot region. The project call graph
+//     propagates hotness to every reachable callee over static,
+//     interface-CHA, function-value, and enclosing edges, so annotating
+//     (*Stmt).Query makes the whole executor pipeline hot transitively.
+//   - `// perf: allocates intentionally` on a function excludes it: it is
+//     not checked, hotness does not propagate through it, and calls to it
+//     are never blamed. Use it where allocation is the point (parsers,
+//     result construction that the caller retains).
+//   - `//lint:ignore alloclint <reason>` suppresses one finding.
+//
+// Inside each hot function the CFG's natural loops (back-edge detection,
+// cfg.go NaturalLoops) select the blocks that run once per iteration —
+// early-exit blocks (`return`/`break` arms) are outside the loop body, so
+// an allocation on an error path is not blamed. Within loop blocks the
+// analyzer flags:
+//
+//   - composite literals of slice/map type, `make`, and map literals;
+//   - `&T{}`/`new(T)` that the intraprocedural escape approximation says
+//     reach the heap (returned, stored, passed, captured, or address
+//     re-taken); a pointer whose only uses are field reads/writes and
+//     comparisons is stack-eligible and stays silent;
+//   - `append` growing a slice declared outside the loop without a
+//     capacity, with a `make(..., 0, n)` suggestion when the loop bound
+//     is visible (range expression or for-condition limit);
+//   - known allocating calls (fmt.Sprintf and friends, strconv/strings
+//     formatting, (*bytes.Buffer).String copies, (*strings.Builder).Reset
+//     dropping its backing array) and string `+` concatenation;
+//   - interface boxing of scalar arguments at call sites — the
+//     Value-shaped hazard this executor is prone to;
+//   - closures capturing outer variables (one allocation per iteration);
+//   - calls to project functions or local closures that allocate on
+//     every path — a must-allocate summary computed with the dataflow
+//     solver over each callee's CFG (panic edges are neutral), so a
+//     clean-looking loop calling an allocating helper is still caught.
+//
+// Everything is conservative approximation, tuned so that every finding
+// on this repository is actionable; suppress the rest with a reason.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+const (
+	markerHotPath = "perf: hot path"
+	markerAllocOK = "perf: allocates intentionally"
+)
+
+func (l *Linter) newAllocLint() *Analyzer {
+	a := &Analyzer{
+		Name: "alloclint",
+		Doc:  "functions reachable from a '// perf: hot path' root must not allocate per loop iteration: hoist, pre-size, or annotate '// perf: allocates intentionally'",
+	}
+	a.Run = func(*Pass) {}
+	a.Finish = func(report func(pos token.Position, format string, args ...any)) {
+		g := l.graph
+		if g == nil {
+			return
+		}
+		c := &allocChecker{
+			graph:     g,
+			fset:      l.fset,
+			hot:       map[*CGNode]bool{},
+			allocOK:   map[*CGNode]bool{},
+			mustAlloc: map[*CGNode]bool{},
+			ctxs:      map[*CGNode]*funcCtx{},
+		}
+		c.propagate()
+		for _, n := range g.Nodes {
+			if c.hot[n] && n.Body() != nil {
+				c.checkNode(n, report)
+			}
+		}
+	}
+	return a
+}
+
+type allocChecker struct {
+	graph *CallGraph
+	fset  *token.FileSet
+	// hot: reachable from a `// perf: hot path` root without passing
+	// through a `// perf: allocates intentionally` function.
+	hot map[*CGNode]bool
+	// allocOK: carries the intentional-allocation marker.
+	allocOK map[*CGNode]bool
+	// mustAlloc memoizes the per-callee "allocates on every call" summary.
+	mustAlloc map[*CGNode]bool
+	ctxs      map[*CGNode]*funcCtx
+}
+
+// propagate computes the hot set: BFS from annotated roots over every
+// call-graph edge kind, stopping at intentional allocators.
+func (c *allocChecker) propagate() {
+	var queue []*CGNode
+	for _, n := range c.graph.Nodes {
+		if c.nodeMarked(n, markerAllocOK) {
+			c.allocOK[n] = true
+		}
+		if c.nodeMarked(n, markerHotPath) {
+			queue = append(queue, n)
+		}
+	}
+	for _, n := range queue {
+		c.hot[n] = true
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		if c.allocOK[n] {
+			continue
+		}
+		for _, e := range n.Out {
+			m := e.Callee
+			if m == nil || c.hot[m] || c.allocOK[m] {
+				continue
+			}
+			c.hot[m] = true
+			queue = append(queue, m)
+		}
+	}
+}
+
+// nodeMarked reports whether the node carries the marker: in a FuncDecl's
+// doc comment, or — for function literals — in a comment ending on the
+// line above (or just before, on the same line as) the literal.
+func (c *allocChecker) nodeMarked(n *CGNode, marker string) bool {
+	if n.Decl != nil {
+		return commentHas(marker, n.Decl.Doc)
+	}
+	if n.Lit == nil || n.Pkg == nil {
+		return false
+	}
+	litPos := c.fset.Position(n.Lit.Pos())
+	for _, f := range n.Pkg.Files {
+		if c.fset.Position(f.Pos()).Filename != litPos.Filename {
+			continue
+		}
+		for _, cg := range f.Comments {
+			if cg.End() >= n.Lit.Pos() {
+				continue
+			}
+			endLine := c.fset.Position(cg.End()).Line
+			if (endLine == litPos.Line-1 || endLine == litPos.Line) && commentHas(marker, cg) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ---- per-function analysis context ----
+
+type funcCtx struct {
+	node    *CGNode
+	body    *ast.BlockStmt
+	info    *types.Info
+	pkg     *types.Package
+	parents map[ast.Node]ast.Node
+	// handled marks composite literals consumed by an enclosing &T{} so
+	// the walker does not double-report them.
+	handled map[ast.Node]bool
+	varEsc  map[*types.Var]bool
+	// litBind maps a local variable to the single function literal bound
+	// to it, for precise local closure-call resolution (emit := func...).
+	litBind map[*types.Var]*ast.FuncLit
+}
+
+func (c *allocChecker) ctxFor(n *CGNode) *funcCtx {
+	if x, ok := c.ctxs[n]; ok {
+		return x
+	}
+	x := &funcCtx{
+		node:    n,
+		body:    n.Body(),
+		info:    n.Pkg.Info,
+		pkg:     n.Pkg.Types,
+		parents: map[ast.Node]ast.Node{},
+		handled: map[ast.Node]bool{},
+		varEsc:  map[*types.Var]bool{},
+		litBind: map[*types.Var]*ast.FuncLit{},
+	}
+	var stack []ast.Node
+	ast.Inspect(x.body, func(nd ast.Node) bool {
+		if nd == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			x.parents[nd] = stack[len(stack)-1]
+		}
+		stack = append(stack, nd)
+		return true
+	})
+	bound := map[*types.Var]int{}
+	bind := func(lhs ast.Expr, rhs ast.Expr) {
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			return
+		}
+		v, ok := objOf(x.info, id).(*types.Var)
+		if !ok {
+			return
+		}
+		bound[v]++
+		if lit, ok := ast.Unparen(rhs).(*ast.FuncLit); ok && bound[v] == 1 {
+			x.litBind[v] = lit
+		} else {
+			delete(x.litBind, v)
+		}
+	}
+	ast.Inspect(x.body, func(nd ast.Node) bool {
+		switch s := nd.(type) {
+		case *ast.AssignStmt:
+			if len(s.Lhs) == len(s.Rhs) {
+				for i := range s.Lhs {
+					bind(s.Lhs[i], s.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			for i := range s.Names {
+				if i < len(s.Values) {
+					bind(s.Names[i], s.Values[i])
+				}
+			}
+		}
+		return true
+	})
+	c.ctxs[n] = x
+	return x
+}
+
+// parentOf returns the logical parent of a node, seeing through parens.
+func (x *funcCtx) parentOf(n ast.Node) ast.Node {
+	p := x.parents[n]
+	for {
+		pe, ok := p.(*ast.ParenExpr)
+		if !ok {
+			return p
+		}
+		p = x.parents[pe]
+	}
+}
+
+// objOf resolves an identifier to its object whether it defines (:=) or
+// uses (=) the name.
+func objOf(info *types.Info, id *ast.Ident) types.Object {
+	if o := info.Defs[id]; o != nil {
+		return o
+	}
+	return info.Uses[id]
+}
+
+// ---- the per-node check ----
+
+func (c *allocChecker) checkNode(n *CGNode, report func(pos token.Position, format string, args ...any)) {
+	cfg := BuildCFG(n.Body())
+	loops := cfg.NaturalLoops()
+	if len(loops) == 0 {
+		return
+	}
+	ctx := c.ctxFor(n)
+	inLoop := map[*Block]bool{}
+	for _, lp := range loops {
+		for b := range lp.Blocks {
+			inLoop[b] = true
+		}
+	}
+	reach := cfg.Reachable()
+	seen := map[string]bool{}
+	emit := func(s allocSite) {
+		key := fmt.Sprintf("%d %s", s.pos, s.msg)
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		report(c.fset.Position(s.pos), "%s", s.msg)
+	}
+	for _, b := range cfg.Blocks {
+		if !inLoop[b] || !reach[b] {
+			continue
+		}
+		for _, node := range b.Nodes {
+			// A range head runs its clause expression once per loop entry,
+			// not per iteration — skip it entirely.
+			if _, ok := node.(*ast.RangeStmt); ok {
+				continue
+			}
+			c.forEachAlloc(ctx, node, false, emit)
+		}
+	}
+	c.checkAppends(ctx, emit)
+}
+
+// allocSite is one allocation the walker found.
+type allocSite struct {
+	pos token.Pos
+	msg string
+	// summary marks sites that count toward the must-allocate callee
+	// summary (boxing and callee blame do not, to keep summaries
+	// intraprocedural and cycle-free).
+	summary bool
+}
+
+// forEachAlloc walks one CFG-block node and emits every allocation site.
+// In summary mode (summarizing a callee) boxing and callee-blame checks
+// are skipped.
+func (c *allocChecker) forEachAlloc(ctx *funcCtx, root ast.Node, summaryMode bool, emit func(allocSite)) {
+	ast.Inspect(root, func(nd ast.Node) bool {
+		switch x := nd.(type) {
+		case *ast.FuncLit:
+			if capturesOuter(ctx, x) {
+				emit(allocSite{x.Pos(), "closure captures variables and allocates per iteration of a hot loop; hoist the function literal", true})
+			}
+			return false // the literal's body is its own call-graph node
+		case *ast.CallExpr:
+			c.callAlloc(ctx, x, summaryMode, emit)
+			return true
+		case *ast.CompositeLit:
+			if ctx.handled[x] {
+				return true
+			}
+			switch ctx.info.TypeOf(x).Underlying().(type) {
+			case *types.Slice:
+				emit(allocSite{x.Pos(), "composite literal allocates per iteration of a hot loop; hoist it or reuse a buffer", true})
+			case *types.Map:
+				emit(allocSite{x.Pos(), "map literal allocates per iteration of a hot loop; hoist it and clear() between iterations", true})
+			}
+			return true
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if cl, ok := ast.Unparen(x.X).(*ast.CompositeLit); ok {
+					ctx.handled[cl] = true
+					if c.escapes(ctx, x) {
+						emit(allocSite{x.Pos(), fmt.Sprintf("&%s{} escapes and heap-allocates per iteration of a hot loop; hoist it or keep it from escaping", allocExprText(c.fset, cl.Type)), true})
+					}
+				}
+			}
+			return true
+		case *ast.BinaryExpr:
+			if x.Op != token.ADD {
+				return true
+			}
+			t, ok := ctx.info.TypeOf(x).Underlying().(*types.Basic)
+			if !ok || t.Info()&types.IsString == 0 {
+				return true
+			}
+			if tv, ok := ctx.info.Types[x]; ok && tv.Value != nil {
+				return true // constant-folded
+			}
+			// Report only the outermost + of a concat chain.
+			if p, ok := ctx.parentOf(x).(*ast.BinaryExpr); ok && p.Op == token.ADD {
+				return true
+			}
+			emit(allocSite{x.Pos(), "string concatenation allocates per iteration of a hot loop; build into a reused buffer", true})
+			return true
+		}
+		return true
+	})
+}
+
+// callAlloc classifies one call expression.
+func (c *allocChecker) callAlloc(ctx *funcCtx, call *ast.CallExpr, summaryMode bool, emit func(allocSite)) {
+	info := ctx.info
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		// A conversion. T(v) boxes when T is an interface and v a scalar.
+		if !summaryMode && len(call.Args) == 1 {
+			c.boxingSite(ctx, call.Args[0], tv.Type, emit)
+		}
+		return
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if bi, ok := info.Uses[id].(*types.Builtin); ok {
+			switch bi.Name() {
+			case "make":
+				if _, isMap := info.TypeOf(call).Underlying().(*types.Map); isMap {
+					emit(allocSite{call.Pos(), "map made per iteration of a hot loop; hoist it and clear() between iterations", true})
+				} else {
+					emit(allocSite{call.Pos(), "make allocates per iteration of a hot loop; hoist the buffer and reuse it across iterations", true})
+				}
+			case "new":
+				if c.escapes(ctx, call) {
+					emit(allocSite{call.Pos(), "new(T) escapes and heap-allocates per iteration of a hot loop; hoist it or keep it from escaping", true})
+				}
+			}
+			return
+		}
+	}
+	obj := calleeObject(info, call)
+	if msg, ok := allocatorCallMsg(obj); ok {
+		emit(allocSite{call.Pos(), msg, true})
+		return // boxing into its params is part of the reported cost
+	}
+	if summaryMode {
+		return
+	}
+	if callee := c.resolveCallee(ctx, call, obj); callee != nil && !c.allocOK[callee] && c.summaryOf(callee) {
+		emit(allocSite{call.Pos(), fmt.Sprintf("%s allocates on every call and is called per iteration of a hot loop; hoist the allocation or annotate the callee '// perf: allocates intentionally'", callee.Name()), false})
+	}
+	c.boxingSites(ctx, call, emit)
+}
+
+// allocatorCallMsg recognizes stdlib calls that allocate on every call.
+func allocatorCallMsg(obj types.Object) (string, bool) {
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return "", false
+	}
+	pkg, name := fn.Pkg().Path(), fn.Name()
+	if names, ok := allocPkgFuncs[pkg]; ok && funcSig(fn).Recv() == nil {
+		for _, n := range names {
+			if n == name {
+				return fmt.Sprintf("%s.%s allocates per iteration of a hot loop; hoist it or use an append-style API into a reused buffer", fn.Pkg().Name(), name), true
+			}
+		}
+	}
+	if recv := namedReceiver(funcSig(fn)); recv != nil {
+		switch {
+		case pkg == "bytes" && recv.Obj().Name() == "Buffer" && name == "String":
+			return "(*bytes.Buffer).String copies to a fresh string per iteration of a hot loop; key maps with m[string(buf.Bytes())] or reuse a []byte", true
+		case pkg == "strings" && recv.Obj().Name() == "Builder" && name == "Reset":
+			return "(*strings.Builder).Reset drops its backing array, re-allocating per iteration of a hot loop; reuse a []byte with append instead", true
+		}
+	}
+	return "", false
+}
+
+var allocPkgFuncs = map[string][]string{
+	"fmt":     {"Sprintf", "Sprint", "Sprintln", "Errorf"},
+	"errors":  {"New"},
+	"strconv": {"Itoa", "FormatInt", "FormatUint", "FormatFloat", "Quote", "AppendQuote"},
+	"strings": {"Join", "Repeat", "Split", "SplitN", "Fields", "ToUpper", "ToLower", "Replace", "ReplaceAll", "Clone"},
+	"bytes":   {"Join", "Repeat", "Split", "SplitN", "Fields", "ToUpper", "ToLower", "Clone"},
+	"regexp":  {"Compile", "MustCompile"},
+}
+
+// resolveCallee maps a call to its single project callee: a statically
+// resolved function with a body, or a local variable bound exactly once to
+// a function literal (the `emit := func(...)` pattern).
+func (c *allocChecker) resolveCallee(ctx *funcCtx, call *ast.CallExpr, obj types.Object) *CGNode {
+	if fn, ok := obj.(*types.Func); ok {
+		if n := c.graph.NodeOf(fn); n != nil && !n.External() {
+			return n
+		}
+		return nil
+	}
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		return c.graph.LitNode(lit)
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, ok := objOf(ctx.info, id).(*types.Var)
+	if !ok {
+		return nil
+	}
+	if lit := ctx.litBind[v]; lit != nil {
+		return c.graph.LitNode(lit)
+	}
+	return nil
+}
+
+// boxingSites flags scalar arguments converted to interface parameters.
+func (c *allocChecker) boxingSites(ctx *funcCtx, call *ast.CallExpr, emit func(allocSite)) {
+	if call.Ellipsis.IsValid() {
+		return
+	}
+	tv, ok := ctx.info.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if sl, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt == nil {
+			continue
+		}
+		c.boxingSite(ctx, arg, pt, emit)
+	}
+}
+
+func (c *allocChecker) boxingSite(ctx *funcCtx, arg ast.Expr, param types.Type, emit func(allocSite)) {
+	if !types.IsInterface(param) {
+		return
+	}
+	at, ok := ctx.info.Types[arg]
+	if !ok || at.Type == nil || at.Value != nil {
+		return // constants box from the read-only data segment or not at all
+	}
+	basic, ok := at.Type.Underlying().(*types.Basic)
+	if !ok || basic.Kind() == types.UntypedNil || basic.Kind() == types.Bool {
+		return // booleans box to two runtime singletons, no allocation
+	}
+	emit(allocSite{arg.Pos(), fmt.Sprintf("%s is boxed into %s per iteration of a hot loop; avoid the interface conversion on the hot path", types.TypeString(at.Type, types.RelativeTo(ctx.pkg)), types.TypeString(param, types.RelativeTo(ctx.pkg))), false})
+}
+
+// ---- must-allocate callee summaries ----
+
+// summaryOf reports whether n allocates on every normal-return path: a
+// forward must-analysis over n's CFG with AND at joins; panic edges are
+// neutral so an error-path panic does not mask the happy path's
+// allocation.
+func (c *allocChecker) summaryOf(n *CGNode) bool {
+	if v, ok := c.mustAlloc[n]; ok {
+		return v
+	}
+	c.mustAlloc[n] = false // settled below; also a cycle guard
+	if n.Body() == nil || n.Pkg == nil {
+		return false
+	}
+	ctx := c.ctxFor(n)
+	cfg := BuildCFG(n.Body())
+	blockAllocs := map[*Block]bool{}
+	for _, b := range cfg.Blocks {
+		for _, node := range b.Nodes {
+			for _, own := range ownExprs(node) {
+				c.forEachAlloc(ctx, own, true, func(s allocSite) {
+					if s.summary {
+						blockAllocs[b] = true
+					}
+				})
+			}
+		}
+	}
+	in := Solve(cfg, FlowProblem[bool]{
+		Entry: false,
+		Join:  func(a, b bool) bool { return a && b },
+		Equal: func(a, b bool) bool { return a == b },
+		Transfer: func(b *Block, in bool) bool {
+			return in || blockAllocs[b]
+		},
+		Edge: func(from *Block, succIdx int, out bool) bool {
+			if from.Panic {
+				return true // never returns: neutral for the AND join
+			}
+			return out
+		},
+	})
+	v, ok := in[cfg.Exit]
+	c.mustAlloc[n] = ok && v
+	return c.mustAlloc[n]
+}
+
+// ---- escape approximation ----
+
+// escapes reports whether the pointer created at site (an &T{} unary
+// expression or new(T) call) may outlive the enclosing function or be
+// observed through the heap. The approximation: a pointer bound to a
+// single local whose every use is a field read/write, dereference, or
+// comparison is stack-eligible; anything else — returned, stored,
+// passed as an argument or receiver, captured by a closure, aliased —
+// escapes.
+func (c *allocChecker) escapes(ctx *funcCtx, site ast.Expr) bool {
+	switch p := ctx.parentOf(site).(type) {
+	case *ast.AssignStmt:
+		if len(p.Lhs) != len(p.Rhs) {
+			return true
+		}
+		for i, r := range p.Rhs {
+			if ast.Unparen(r) != ast.Unparen(site.(ast.Expr)) && r != site {
+				continue
+			}
+			id, ok := p.Lhs[i].(*ast.Ident)
+			if !ok || id.Name == "_" {
+				return true
+			}
+			v, ok := objOf(ctx.info, id).(*types.Var)
+			if !ok {
+				return true
+			}
+			return c.varEscapes(ctx, v)
+		}
+		return true
+	case *ast.ValueSpec:
+		for i, r := range p.Values {
+			if r != site || i >= len(p.Names) {
+				continue
+			}
+			v, ok := ctx.info.Defs[p.Names[i]].(*types.Var)
+			if !ok {
+				return true
+			}
+			return c.varEscapes(ctx, v)
+		}
+		return true
+	}
+	return true
+}
+
+// varEscapes reports whether any use of v lets the pointee escape.
+func (c *allocChecker) varEscapes(ctx *funcCtx, v *types.Var) bool {
+	if esc, ok := ctx.varEsc[v]; ok {
+		return esc
+	}
+	esc := false
+	ast.Inspect(ctx.body, func(nd ast.Node) bool {
+		if esc {
+			return false
+		}
+		id, ok := nd.(*ast.Ident)
+		if !ok || ctx.info.Uses[id] != v {
+			return true
+		}
+		if c.identEscapes(ctx, id) {
+			esc = true
+		}
+		return true
+	})
+	ctx.varEsc[v] = esc
+	return esc
+}
+
+// identEscapes classifies one use of a tracked pointer variable.
+func (c *allocChecker) identEscapes(ctx *funcCtx, id *ast.Ident) bool {
+	// A use inside a nested function literal is a capture: the closure
+	// may outlive the frame.
+	for a := ctx.parents[id]; a != nil; a = ctx.parents[a] {
+		if _, ok := a.(*ast.FuncLit); ok {
+			return true
+		}
+	}
+	switch p := ctx.parentOf(id).(type) {
+	case *ast.SelectorExpr:
+		if ast.Unparen(p.X) != ast.Expr(id) {
+			return true
+		}
+		switch q := ctx.parentOf(p).(type) {
+		case *ast.CallExpr:
+			// x.m(...): the method may retain its receiver.
+			return ast.Unparen(q.Fun) == ast.Expr(p)
+		case *ast.UnaryExpr:
+			return q.Op == token.AND // &x.f re-exposes the pointer
+		}
+		return false // field read or write: the pointee stays put
+	case *ast.StarExpr:
+		if q, ok := ctx.parentOf(p).(*ast.UnaryExpr); ok && q.Op == token.AND {
+			return true // &*x is x again
+		}
+		return false
+	case *ast.AssignStmt:
+		for _, l := range p.Lhs {
+			if l == ast.Expr(id) {
+				return false // reassignment kills the old pointee
+			}
+		}
+		return true // aliased into another location
+	case *ast.BinaryExpr:
+		return false // comparisons (x == nil) and the like
+	case *ast.IncDecStmt:
+		return false
+	}
+	return true
+}
+
+// capturesOuter reports whether a function literal captures any variable
+// declared outside it (package-level variables are accessed directly and
+// do not force a heap closure).
+func capturesOuter(ctx *funcCtx, lit *ast.FuncLit) bool {
+	captures := false
+	ast.Inspect(lit.Body, func(nd ast.Node) bool {
+		if captures {
+			return false
+		}
+		id, ok := nd.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := ctx.info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		if v.Parent() == ctx.pkg.Scope() {
+			return true // package-level
+		}
+		if v.Pos() < lit.Pos() || v.Pos() > lit.End() {
+			captures = true
+		}
+		return true
+	})
+	return captures
+}
+
+// ---- the append rule ----
+
+// checkAppends flags `x = append(x, ...)` statements sitting directly in
+// a loop body when x is declared outside the loop with no capacity. The
+// direct-statement restriction keeps the rule to appends that run every
+// iteration; a conditional append inside an if is a different (data-
+// dependent) shape the analyzer stays quiet about.
+func (c *allocChecker) checkAppends(ctx *funcCtx, emit func(allocSite)) {
+	ast.Inspect(ctx.body, func(nd ast.Node) bool {
+		if _, ok := nd.(*ast.FuncLit); ok {
+			return false
+		}
+		as, ok := nd.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok || call.Ellipsis.IsValid() || len(call.Args) < 2 {
+			return true
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); !ok {
+			return true
+		} else if bi, ok := ctx.info.Uses[id].(*types.Builtin); !ok || bi.Name() != "append" {
+			return true
+		}
+		if allocExprText(c.fset, call.Args[0]) != allocExprText(c.fset, as.Lhs[0]) {
+			return true // not a self-append
+		}
+		blk, ok := ctx.parents[as].(*ast.BlockStmt)
+		if !ok {
+			return true
+		}
+		loop := ctx.parents[blk]
+		var loopPos, loopEnd token.Pos
+		var bound string
+		switch l := loop.(type) {
+		case *ast.ForStmt:
+			if l.Body != blk {
+				return true
+			}
+			loopPos, loopEnd, bound = l.Pos(), l.End(), forBound(c.fset, l)
+		case *ast.RangeStmt:
+			if l.Body != blk {
+				return true
+			}
+			loopPos, loopEnd, bound = l.Pos(), l.End(), rangeBound(c.fset, l)
+		default:
+			return true
+		}
+		if !c.unsizedOutsideLoop(ctx, as.Lhs[0], loopPos, loopEnd) {
+			return true
+		}
+		target := allocExprText(c.fset, as.Lhs[0])
+		if bound != "" {
+			emit(allocSite{as.Pos(), fmt.Sprintf("append to %s grows an unsized slice per iteration of a hot loop; pre-size with make(..., 0, %s) before the loop", target, bound), false})
+		} else {
+			emit(allocSite{as.Pos(), fmt.Sprintf("append to %s grows an unsized slice per iteration of a hot loop; pre-size it before the loop", target), false})
+		}
+		return true
+	})
+}
+
+// unsizedOutsideLoop reports whether the append target is declared
+// outside [loopPos, loopEnd) and provably starts with no capacity.
+func (c *allocChecker) unsizedOutsideLoop(ctx *funcCtx, target ast.Expr, loopPos, loopEnd token.Pos) bool {
+	switch t := ast.Unparen(target).(type) {
+	case *ast.Ident:
+		v, ok := ctx.info.Uses[t].(*types.Var)
+		if !ok {
+			return false
+		}
+		if v.Pos() >= loopPos && v.Pos() < loopEnd {
+			return false // declared inside the loop; the decl itself is the finding
+		}
+		sized, found := c.sliceDeclSized(ctx, v)
+		return found && !sized
+	case *ast.SelectorExpr:
+		// r.keys: find r's single composite-literal binding; the field is
+		// unsized when the literal does not initialize it.
+		base, ok := ast.Unparen(t.X).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		v, ok := objOf(ctx.info, base).(*types.Var)
+		if !ok || (v.Pos() >= loopPos && v.Pos() < loopEnd) {
+			return false
+		}
+		cl, found := c.structLitBinding(ctx, v)
+		if !found {
+			return false
+		}
+		for _, el := range cl.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				if key, ok := kv.Key.(*ast.Ident); ok && key.Name == t.Sel.Name {
+					return false // field initialized in the literal
+				}
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// sliceDeclSized finds v's declaration, searching the current node's body
+// and then enclosing declarations (for variables captured by a literal),
+// and reports whether it carries an initial capacity.
+func (c *allocChecker) sliceDeclSized(ctx *funcCtx, v *types.Var) (sized, found bool) {
+	for n := ctx.node; n != nil; n = n.Parent {
+		if n.Body() == nil {
+			break
+		}
+		x := c.ctxFor(n)
+		if sized, found = declSizedIn(x, v); found {
+			return sized, true
+		}
+	}
+	return false, false
+}
+
+func declSizedIn(ctx *funcCtx, v *types.Var) (sized, found bool) {
+	ast.Inspect(ctx.body, func(nd ast.Node) bool {
+		if found && sized {
+			return false
+		}
+		switch s := nd.(type) {
+		case *ast.ValueSpec:
+			for i, name := range s.Names {
+				if ctx.info.Defs[name] != v {
+					continue
+				}
+				found = true
+				if i < len(s.Values) {
+					sized = sized || initHasCapacity(ctx, s.Values[i])
+				}
+			}
+		case *ast.AssignStmt:
+			if len(s.Lhs) != len(s.Rhs) {
+				return true
+			}
+			for i, l := range s.Lhs {
+				id, ok := l.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if ctx.info.Defs[id] == v {
+					found = true
+					sized = sized || initHasCapacity(ctx, s.Rhs[i])
+					continue
+				}
+				// A plain `=` re-assignment that installs capacity sizes the
+				// slice too: the `var buf []T` + `buf = make(..., 0, n)`
+				// hoist idiom, or a `buf = buf[:0]` reuse reset. Growth
+				// self-appends (`buf = append(buf, x)`) don't count.
+				if ctx.info.Uses[id] == v && !isAppendCall(ctx, s.Rhs[i]) && initHasCapacity(ctx, s.Rhs[i]) {
+					found, sized = true, true
+				}
+			}
+		}
+		return true
+	})
+	return sized, found
+}
+
+// isAppendCall reports whether e is a call of the builtin append.
+func isAppendCall(ctx *funcCtx, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	bi, ok := ctx.info.Uses[id].(*types.Builtin)
+	return ok && bi.Name() == "append"
+}
+
+// initHasCapacity reports whether a slice initializer provides backing
+// capacity: make with an explicit cap (or non-zero length), a non-empty
+// composite literal, or anything the analyzer can't see through (a call
+// result), which it conservatively treats as sized.
+func initHasCapacity(ctx *funcCtx, init ast.Expr) bool {
+	switch e := ast.Unparen(init).(type) {
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok {
+			if bi, ok := ctx.info.Uses[id].(*types.Builtin); ok && bi.Name() == "make" {
+				if len(e.Args) >= 3 {
+					return true
+				}
+				if len(e.Args) == 2 {
+					tv, ok := ctx.info.Types[e.Args[1]]
+					return !ok || tv.Value == nil || tv.Value.String() != "0"
+				}
+				return false
+			}
+		}
+		return true // opaque call result
+	case *ast.CompositeLit:
+		return len(e.Elts) > 0
+	case *ast.Ident:
+		return e.Name != "nil"
+	}
+	return true
+}
+
+// structLitBinding finds v's single `v := T{...}` binding.
+func (c *allocChecker) structLitBinding(ctx *funcCtx, v *types.Var) (*ast.CompositeLit, bool) {
+	var lit *ast.CompositeLit
+	bindings := 0
+	for n := ctx.node; n != nil; n = n.Parent {
+		if n.Body() == nil {
+			break
+		}
+		x := c.ctxFor(n)
+		ast.Inspect(x.body, func(nd ast.Node) bool {
+			s, ok := nd.(*ast.AssignStmt)
+			if !ok || len(s.Lhs) != len(s.Rhs) {
+				return true
+			}
+			for i, l := range s.Lhs {
+				id, ok := l.(*ast.Ident)
+				if !ok || objOf(x.info, id) != v {
+					continue
+				}
+				bindings++
+				if cl, ok := ast.Unparen(s.Rhs[i]).(*ast.CompositeLit); ok {
+					lit = cl
+				}
+			}
+			return true
+		})
+		if bindings > 0 {
+			break
+		}
+	}
+	if bindings == 1 && lit != nil {
+		if _, ok := ctx.info.TypeOf(lit).Underlying().(*types.Struct); ok {
+			return lit, true
+		}
+	}
+	return nil, false
+}
+
+// ---- loop-bound extraction for the append suggestion ----
+
+// rangeBound suggests len(X) for a simple range expression.
+func rangeBound(fset *token.FileSet, l *ast.RangeStmt) string {
+	switch x := ast.Unparen(l.X).(type) {
+	case *ast.Ident:
+		return "len(" + x.Name + ")"
+	case *ast.SelectorExpr:
+		if _, ok := ast.Unparen(x.X).(*ast.Ident); ok {
+			return "len(" + allocExprText(fset, x) + ")"
+		}
+	}
+	return ""
+}
+
+// forBound extracts the limit of `for i := 0; i < N; i++` shapes.
+func forBound(fset *token.FileSet, l *ast.ForStmt) string {
+	cond, ok := l.Cond.(*ast.BinaryExpr)
+	if !ok || (cond.Op != token.LSS && cond.Op != token.LEQ) {
+		return ""
+	}
+	switch y := ast.Unparen(cond.Y).(type) {
+	case *ast.Ident:
+		return y.Name
+	case *ast.SelectorExpr:
+		if _, ok := ast.Unparen(y.X).(*ast.Ident); ok {
+			return allocExprText(fset, y)
+		}
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(y.Fun).(*ast.Ident); ok && id.Name == "len" {
+			return allocExprText(fset, y)
+		}
+	}
+	return ""
+}
+
+// allocExprText renders an expression as compact source text.
+func allocExprText(fset *token.FileSet, e ast.Expr) string {
+	var sb strings.Builder
+	if err := printer.Fprint(&sb, fset, e); err != nil {
+		return fmt.Sprintf("%T", e)
+	}
+	return strings.Join(strings.Fields(sb.String()), " ")
+}

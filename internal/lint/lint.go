@@ -144,6 +144,7 @@ func NewLinter() *Linter {
 		l.newCallGraphCheck(),
 		l.newSnapshotSafe(),
 		l.newContextCheck(),
+		l.newAllocLint(),
 		// directive must stay last: its Finish sees which suppressions the
 		// other analyzers' findings actually used.
 		l.newDirectiveCheck(),

@@ -16,6 +16,8 @@ type schema struct {
 
 func newSchema() *schema { return &schema{} }
 
+// perf: allocates intentionally — schema construction runs once per table
+// per query, not per row.
 func (s *schema) addTable(label string, t *Table) {
 	for _, c := range t.Cols {
 		s.labels = append(s.labels, strings.ToLower(label))
@@ -331,8 +333,9 @@ func (e *evalEnv) evalAggregate(n *Call) (Value, error) {
 	// group and the DISTINCT set is only allocated when needed: this loop
 	// runs once per aggregate per group, so per-iteration allocations here
 	// dominate grouped-query cost.
-	var vals []Value
+	vals := make([]Value, 0, len(e.group))
 	var seen map[string]bool
+	var kbuf []byte
 	sub := evalEnv{db: e.db, schema: e.schema}
 	for _, row := range e.group {
 		sub.row = row
@@ -345,13 +348,14 @@ func (e *evalEnv) evalAggregate(n *Call) (Value, error) {
 		}
 		if n.Distinct {
 			if seen == nil {
+				//lint:ignore alloclint the DISTINCT set is allocated at most once per aggregate call (guarded by seen == nil), not per row
 				seen = make(map[string]bool, len(e.group))
 			}
-			k := v.key()
-			if seen[k] {
+			kbuf = v.appendKey(kbuf[:0])
+			if seen[string(kbuf)] {
 				continue
 			}
-			seen[k] = true
+			seen[string(kbuf)] = true
 		}
 		vals = append(vals, v)
 	}
@@ -431,14 +435,17 @@ func (db *DB) execSelectPlan(s *SelectStmt, pl *selectPlan) (*Rows, error) {
 		copy(rows, base.Rows)
 		prb.done(len(base.Rows), len(rows), 1)
 		for i, j := range s.Joins {
+			//lint:ignore alloclint one name fold per JOIN clause, not per data row
+			joinName := strings.ToLower(j.Table.Name)
 			//lint:ignore guardedby callers (Query, Stmt.Query) hold db.mu
-			jt, ok := db.tables[strings.ToLower(j.Table.Name)]
+			jt, ok := db.tables[joinName]
 			if !ok {
 				return nil, fmt.Errorf("reldb: no such table %q", j.Table.Name)
 			}
 			in := len(rows)
 			prb := pl.probeJoin(i)
 			var err error
+			//lint:ignore alloclint join allocates the joined row set once per JOIN clause, not per data row
 			rows, err = db.join(sch, rows, j, jt, pl.joinProbeAt(i))
 			if err != nil {
 				return nil, err
@@ -490,6 +497,15 @@ func (db *DB) execSelectPlan(s *SelectStmt, pl *selectPlan) (*Rows, error) {
 		keys []Value // order-by keys
 	}
 	var result []outRow
+	var valsBuf, keysBuf []Value
+	// initEmit pre-sizes the output buffers once the emit count is known:
+	// each emit call then appends into flat backing arrays and slices out
+	// its row, instead of allocating fresh vals/keys slices per output row.
+	initEmit := func(n int) {
+		result = make([]outRow, 0, n)
+		valsBuf = make([]Value, 0, n*len(items))
+		keysBuf = make([]Value, 0, n*len(s.OrderBy))
+	}
 
 	aliasExpr := func(e Expr) Expr {
 		// ORDER BY may reference a select alias or a 1-based ordinal.
@@ -509,22 +525,26 @@ func (db *DB) execSelectPlan(s *SelectStmt, pl *selectPlan) (*Rows, error) {
 	}
 
 	emit := func(env *evalEnv) error {
-		r := outRow{vals: make([]Value, len(items))}
-		for i, it := range items {
+		vStart := len(valsBuf)
+		for _, it := range items {
 			v, err := env.eval(it.Expr)
 			if err != nil {
 				return err
 			}
-			r.vals[i] = v
+			valsBuf = append(valsBuf, v)
 		}
+		kStart := len(keysBuf)
 		for _, ob := range s.OrderBy {
 			v, err := env.eval(aliasExpr(ob.Expr))
 			if err != nil {
 				return err
 			}
-			r.keys = append(r.keys, v)
+			keysBuf = append(keysBuf, v)
 		}
-		result = append(result, r)
+		result = append(result, outRow{
+			vals: valsBuf[vStart:len(valsBuf):len(valsBuf)],
+			keys: keysBuf[kStart:len(keysBuf):len(keysBuf)],
+		})
 		return nil
 	}
 
@@ -535,6 +555,7 @@ func (db *DB) execSelectPlan(s *SelectStmt, pl *selectPlan) (*Rows, error) {
 		if err != nil {
 			return nil, err
 		}
+		initEmit(len(groups))
 		env := evalEnv{db: db, schema: sch}
 		for _, g := range groups {
 			env.row, env.group = g.first, g.rows
@@ -555,6 +576,7 @@ func (db *DB) execSelectPlan(s *SelectStmt, pl *selectPlan) (*Rows, error) {
 	} else {
 		prb := pl.probeOutput()
 		in := len(rows)
+		initEmit(len(rows))
 		env := evalEnv{db: db, schema: sch}
 		for _, row := range rows {
 			env.row = row
@@ -569,18 +591,19 @@ func (db *DB) execSelectPlan(s *SelectStmt, pl *selectPlan) (*Rows, error) {
 	if s.Distinct {
 		prb := pl.probeDistinct()
 		in := len(result)
-		seen := map[string]bool{}
+		seen := make(map[string]bool, len(result))
 		dedup := result[:0:0]
-		var b strings.Builder
+		var buf []byte
 		for _, r := range result {
-			b.Reset()
+			buf = buf[:0]
 			for _, v := range r.vals {
-				b.WriteString(v.key())
-				b.WriteByte('\x01')
+				buf = v.appendKey(buf)
+				buf = append(buf, '\x01')
 			}
-			k := b.String()
-			if !seen[k] {
-				seen[k] = true
+			// The m[string(buf)] lookup is allocation-free; only newly seen
+			// rows pay for a retained key string.
+			if !seen[string(buf)] {
+				seen[string(buf)] = true
 				dedup = append(dedup, r)
 			}
 		}
@@ -642,37 +665,38 @@ func groupRows(db *DB, sch *schema, rows [][]Value, by []Expr) ([]group, error) 
 		// returns 0.
 		return []group{{first: nil, rows: rows}}, nil
 	}
-	order := []string{}
-	m := map[string]*group{}
+	// Groups are kept in a slice in first-seen order; the map only carries
+	// key -> index, so the per-row lookup path is allocation-free (one
+	// reused key buffer, m[string(buf)] indexing) and only new groups pay
+	// for a retained key string.
+	idx := make(map[string]int, 16)
+	var out []group
 	env := evalEnv{db: db, schema: sch}
-	var b strings.Builder
+	var buf []byte
 	for _, row := range rows {
 		env.row = row
-		b.Reset()
+		buf = buf[:0]
 		for _, e := range by {
 			v, err := env.eval(e)
 			if err != nil {
 				return nil, err
 			}
-			b.WriteString(v.key())
-			b.WriteByte('\x01')
+			buf = v.appendKey(buf)
+			buf = append(buf, '\x01')
 		}
-		k := b.String()
-		g, ok := m[k]
+		gi, ok := idx[string(buf)]
 		if !ok {
-			g = &group{first: row}
-			m[k] = g
-			order = append(order, k)
+			gi = len(out)
+			idx[string(buf)] = gi
+			out = append(out, group{first: row})
 		}
-		g.rows = append(g.rows, row)
-	}
-	out := make([]group, len(order))
-	for i, k := range order {
-		out[i] = *m[k]
+		out[gi].rows = append(out[gi].rows, row)
 	}
 	return out, nil
 }
 
+// perf: allocates intentionally — expands the select list once per query,
+// not per row.
 func expandStars(items []SelectItem, sch *schema) ([]SelectItem, error) {
 	var out []SelectItem
 	for _, it := range items {
@@ -745,6 +769,8 @@ func (db *DB) join(sch *schema, left [][]Value, j JoinClause, jt *Table, jp *joi
 	newSch.addTable(j.Table.label(), jt)
 
 	leftWidth := len(sch.names)
+	// perf: allocates intentionally — each combined row it builds is a
+	// retained output row; there is nothing to hoist.
 	combine := func(l []Value, r []Value) []Value {
 		row := make([]Value, 0, leftWidth+len(jt.Cols))
 		row = append(row, l...)
@@ -763,6 +789,7 @@ func (db *DB) join(sch *schema, left [][]Value, j JoinClause, jt *Table, jp *joi
 		idx := make(map[string][][]Value, len(jt.Rows))
 		pad := make([]Value, leftWidth+len(jt.Cols))
 		envR := evalEnv{db: db, schema: newSch, row: pad}
+		var kbuf []byte
 		for _, rrow := range jt.Rows {
 			copy(pad[leftWidth:], rrow)
 			v, err := envR.eval(rExpr)
@@ -772,7 +799,8 @@ func (db *DB) join(sch *schema, left [][]Value, j JoinClause, jt *Table, jp *joi
 			if v.IsNull() {
 				continue
 			}
-			k := v.key()
+			kbuf = v.appendKey(kbuf[:0])
+			k := string(kbuf) // retained as the bucket key
 			idx[k] = append(idx[k], rrow)
 		}
 		envL := evalEnv{db: db, schema: sch}
@@ -785,7 +813,9 @@ func (db *DB) join(sch *schema, left [][]Value, j JoinClause, jt *Table, jp *joi
 			}
 			matched := false
 			if !lv.IsNull() {
-				for _, rrow := range idx[lv.key()] {
+				// Allocation-free probe: reused key buffer, m[string(buf)].
+				kbuf = lv.appendKey(kbuf[:0])
+				for _, rrow := range idx[string(kbuf)] {
 					full := combine(lrow, rrow)
 					env.row = full
 					v, err := env.eval(j.On)
@@ -828,6 +858,9 @@ func (db *DB) join(sch *schema, left [][]Value, j JoinClause, jt *Table, jp *joi
 	return out, nil
 }
 
+// perf: allocates intentionally — ON-clause analysis runs once per JOIN
+// clause at plan time, not per row.
+//
 // equiJoinPair finds `leftCols = rightCols` inside the ON expression (either
 // at the top level or as a conjunct of an AND chain) where the left side
 // only references existing tables and the right side only references the

@@ -263,26 +263,33 @@ func Equal(a, b Value) bool {
 // key returns a hashable representation for index/group-by use. Unlike SQL
 // equality, NULLs group together (standard GROUP BY semantics).
 func (v Value) key() string {
+	return string(v.appendKey(nil))
+}
+
+// appendKey appends v's key bytes (the same encoding key returns) to b and
+// returns the grown slice. Hot loops reuse one buffer across rows and look
+// up maps with m[string(buf)], which the compiler keeps allocation-free.
+func (v Value) appendKey(b []byte) []byte {
 	switch v.kind {
 	case kindNull:
-		return "\x00N"
+		return append(b, "\x00N"...)
 	case kindInt:
-		return "\x00I" + strconv.FormatInt(v.i, 10)
+		return strconv.AppendInt(append(b, '\x00', 'I'), v.i, 10)
 	case kindFloat:
 		if v.f == math.Trunc(v.f) && !math.IsInf(v.f, 0) && math.Abs(v.f) < 1e15 {
 			// Integral floats hash like ints so 1 and 1.0 group together.
-			return "\x00I" + strconv.FormatInt(int64(v.f), 10)
+			return strconv.AppendInt(append(b, '\x00', 'I'), int64(v.f), 10)
 		}
-		return "\x00F" + strconv.FormatFloat(v.f, 'g', -1, 64)
+		return strconv.AppendFloat(append(b, '\x00', 'F'), v.f, 'g', -1, 64)
 	case kindText:
-		return "\x00T" + v.s
+		return append(append(b, '\x00', 'T'), v.s...)
 	case kindBool:
 		if v.b {
-			return "\x00B1"
+			return append(b, "\x00B1"...)
 		}
-		return "\x00B0"
+		return append(b, "\x00B0"...)
 	default:
-		return "\x00?"
+		return append(b, "\x00?"...)
 	}
 }
 

@@ -112,6 +112,8 @@ func attachPlanSpans(parent *obs.Span, n *reldb.PlanNode, start time.Time) {
 // ANALYZE) against the current snapshot, with plan and result caching.
 // DDL/DML is refused with 403 before touching the database. Every request
 // contributes a sample to the per-fingerprint statement statistics.
+//
+// perf: hot path
 func (s *Server) handleSQL(w http.ResponseWriter, r *http.Request) {
 	t0 := time.Now()
 	sp := obs.StartTrace("sql")
@@ -254,9 +256,14 @@ func (s *Server) handleSQL(w http.ResponseWriter, r *http.Request) {
 		n = s.cfg.MaxResultRows
 		res.Truncated = true
 	}
+	// One flat backing array for all marshalled rows instead of a fresh
+	// slice per row; every executor row has exactly len(Columns) values.
 	res.Rows = make([][]interface{}, n)
+	flat := make([]interface{}, n*len(rows.Columns))
 	for i := 0; i < n; i++ {
-		row := make([]interface{}, len(rows.Rows[i]))
+		w := len(rows.Rows[i])
+		row := flat[:w:w]
+		flat = flat[w:]
 		for j, v := range rows.Rows[i] {
 			row[j] = v.Interface()
 		}

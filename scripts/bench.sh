@@ -5,29 +5,38 @@
 # cache), the reldb prepared-vs-parse benchmark, and the traced-vs-untraced
 # build benchmark, then writes the parsed results to BENCH_serve.json at the
 # repo root. A second pass runs the per-operator executor benchmarks and the
-# EXPLAIN-overhead comparison into BENCH_reldb.json (ns/op plus rows/s where
-# the benchmark reports it).
+# EXPLAIN-overhead comparison into BENCH_reldb.json (ns/op, B/op and
+# allocs/op, plus rows/s where the benchmark reports it).
 #
 # Usage:
 #   scripts/bench.sh            # full run (benchtime from BENCHTIME, default 1s)
 #   scripts/bench.sh --smoke    # one iteration per benchmark; correctness only
+#
+# A full run overwrites the committed artifacts at the repo root. --smoke
+# exists so CI can prove the harness and every benchmark still execute; its
+# iterations:1 output is meaningless as a measurement, so it is written to
+# artifacts/bench-smoke/ and the committed BENCH_*.json keep their real
+# (explicit-benchtime) numbers.
 set -eu
 
 cd "$(dirname "$0")/.."
 
 benchtime="${BENCHTIME:-1s}"
+destdir=.
 if [ "${1:-}" = "--smoke" ]; then
     benchtime=1x
+    destdir=artifacts/bench-smoke
+    mkdir -p "$destdir"
 fi
 
-out=BENCH_serve.json
+out="$destdir/BENCH_serve.json"
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
 
 go test -run '^$' -bench 'BenchmarkServeSQLThroughput|BenchmarkBuildTraced' \
-    -benchtime "$benchtime" . | tee -a "$tmp"
+    -benchtime "$benchtime" -benchmem . | tee -a "$tmp"
 go test -run '^$' -bench 'BenchmarkPreparedVsQuery' \
-    -benchtime "$benchtime" ./internal/reldb/ | tee -a "$tmp"
+    -benchtime "$benchtime" -benchmem ./internal/reldb/ | tee -a "$tmp"
 
 # Parse `BenchmarkName-P   N   X ns/op ...` lines into a JSON array. No jq
 # in the image, so awk renders the JSON directly.
@@ -36,11 +45,18 @@ awk '
     name = $1
     sub(/-[0-9]+$/, "", name)
     iters = $2
-    nsop = ""
-    for (i = 3; i < NF; i++) if ($(i + 1) == "ns/op") nsop = $i
+    nsop = ""; bop = ""; aop = ""
+    for (i = 3; i < NF; i++) {
+        if ($(i + 1) == "ns/op") nsop = $i
+        if ($(i + 1) == "B/op") bop = $i
+        if ($(i + 1) == "allocs/op") aop = $i
+    }
     if (nsop == "") next
     if (count++) printf ",\n"
-    printf "  {\"benchmark\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s}", name, iters, nsop
+    printf "  {\"benchmark\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, iters, nsop
+    if (bop != "") printf ", \"bytes_per_op\": %s", bop
+    if (aop != "") printf ", \"allocs_per_op\": %s", aop
+    printf "}"
 }
 BEGIN { printf "[\n" }
 END   { printf "\n]\n" }
@@ -50,27 +66,31 @@ echo "bench.sh: wrote $(grep -c '"benchmark"' "$out") results to $out"
 
 # Per-operator executor instrumentation benchmarks. These report a custom
 # rows/s metric alongside ns/op, so they get their own artifact and parser.
-relout=BENCH_reldb.json
+relout="$destdir/BENCH_reldb.json"
 reltmp=$(mktemp)
 trap 'rm -f "$tmp" "$reltmp"' EXIT
 
 go test -run '^$' -bench 'BenchmarkOperators|BenchmarkExplainOverhead' \
-    -benchtime "$benchtime" ./internal/reldb/ | tee "$reltmp"
+    -benchtime "$benchtime" -benchmem ./internal/reldb/ | tee "$reltmp"
 
 awk '
 /^Benchmark/ {
     name = $1
     sub(/-[0-9]+$/, "", name)
     iters = $2
-    nsop = ""; rps = ""
+    nsop = ""; rps = ""; bop = ""; aop = ""
     for (i = 3; i < NF; i++) {
         if ($(i + 1) == "ns/op") nsop = $i
         if ($(i + 1) == "rows/s") rps = $i
+        if ($(i + 1) == "B/op") bop = $i
+        if ($(i + 1) == "allocs/op") aop = $i
     }
     if (nsop == "") next
     if (count++) printf ",\n"
     printf "  {\"benchmark\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, iters, nsop
     if (rps != "") printf ", \"rows_per_sec\": %s", rps
+    if (bop != "") printf ", \"bytes_per_op\": %s", bop
+    if (aop != "") printf ", \"allocs_per_op\": %s", aop
     printf "}"
 }
 BEGIN { printf "[\n" }

@@ -15,11 +15,13 @@ fi
 go vet ./...
 go build ./...
 
-# Project-aware static analysis: SQL/schema consistency, error and logging
-# discipline, metric hygiene, path-sensitive mutex-guard checking, lock
-# ordering (deadlock detection), goroutine leaks, unclosed closers, and
-# dead suppressions. Any finding fails the gate; per-analyzer timings land
-# in artifacts/lint.json and BENCH_lint.json.
+# Project-aware static analysis, all thirteen analyzers: SQL/schema
+# consistency, error and logging discipline, metric hygiene, path-sensitive
+# mutex-guard checking, lock ordering (deadlock detection), goroutine
+# leaks, unclosed closers, call-graph dead code, snapshot immutability,
+# context discipline, hot-path allocation discipline (alloclint), and dead
+# suppressions. Any finding fails the gate; per-analyzer timings land in
+# artifacts/lint.json and BENCH_lint.json.
 scripts/lint.sh
 
 go test -race ./...

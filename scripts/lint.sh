@@ -32,4 +32,19 @@ if [ "$status" -ne 0 ]; then
 else
     echo "lint.sh: clean (artifacts/lint.json)"
 fi
+
+# Per-analyzer summary (name, wall ms, finding count) from the JSON
+# report, so CI logs show which of the thirteen analyzers ran and what
+# each one cost. No jq in the image; the report is machine-written, so a
+# line-oriented awk pass over its stable field order is safe.
+awk '
+/"name":/     { gsub(/[",]/, "", $2); name = $2 }
+/"wall_ms":/  { gsub(/,/, "", $2); ms = $2 }
+/"findings": [0-9]+/ && name != "" {
+    gsub(/,/, "", $2)
+    printf "lint.sh:   %-14s %8.3f ms  %s finding(s)\n", name, ms, $2
+    name = ""
+}
+' artifacts/lint.json
+
 exit "$status"
